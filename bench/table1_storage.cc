@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Table I: Gaze's detailed storage requirements, structure by
+ * structure, computed from the field lists, plus the relative
+ * area/energy proxies of §III-E (pattern-entry bit widths).
+ */
+
+#include "bench_util.hh"
+#include "harness/storage_model.hh"
+#include "prefetchers/factory.hh"
+
+using namespace gaze;
+using namespace gaze::bench;
+
+int
+main()
+{
+    banner("Table I", "Gaze storage breakdown");
+
+    TextTable table({"structure", "description", "bytes"});
+    double total = 0;
+    for (const auto &row : gazeStorageBreakdown()) {
+        char bytes[32];
+        std::snprintf(bytes, sizeof(bytes), "%.1f", row.bits / 8.0);
+        table.addRow({row.structure, row.description, bytes});
+        total += row.kib();
+    }
+    std::printf("%s\ntotal: %.2fKB (paper: 4.46KB; 31x below Bingo, "
+                "0.54KB below PMP)\n\n", table.toString().c_str(),
+                total);
+
+    // §III-E area/energy proxy: bits per pattern-history line. Gaze
+    // stores a 64b bit vector where PMP stores a 320b counter vector
+    // (plus a 160b coarse vector) — the source of its ~29% area and
+    // <46% access-energy figures.
+    TextTable proxy({"scheme", "pattern line width", "relative"});
+    proxy.addRow({"gaze PHT", "64b bit vector", "1.0x"});
+    proxy.addRow({"pmp OPT", "384b counter vector (64x6b)", "6.0x"});
+    std::printf("pattern-line width proxy (area/energy driver):\n%s\n",
+                proxy.toString().c_str());
+    return 0;
+}

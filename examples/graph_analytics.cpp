@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Graph-analytics example: the §III-C motivating scenario end to end.
+ *
+ * Ligra-style BFS interleaves two access patterns from nearby code:
+ * dense streaming over the frontier array and sparse gathers over the
+ * vertex data. Regions of both kinds frequently begin at blocks 0,1,
+ * so a prefetcher that blindly replays dense footprints over-
+ * prefetches on the sparse regions.
+ *
+ * This example runs the two phases of a synthetic PageRank plus the
+ * isolated hazard workload, comparing full Gaze against its two
+ * Fig. 10 ablations:
+ *   - PHT4SS: dense streaming patterns learned in the ordinary PHT
+ *   - SM4SS:  the dedicated streaming module (DPCT + DC, two-stage)
+ */
+
+#include <cstdio>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "workloads/suites.hh"
+
+int
+main()
+{
+    using namespace gaze;
+
+    RunConfig cfg;
+    Runner runner(cfg);
+
+    const char *workloads[] = {
+        "PageRank-1",  // init phase: almost pure streaming
+        "PageRank-61", // compute phase: interleaved patterns
+        "BC-4",        // the hazard in isolation (55% dense)
+        "MIS-17",      // hazard with sparse majority (35% dense)
+    };
+
+    std::printf("graph analytics: the spatial-streaming hazard\n\n");
+    TextTable table({"workload", "PHT4SS", "SM4SS", "full Gaze"});
+    for (const char *name : workloads) {
+        const WorkloadDef &w = findWorkload(name);
+        double a = runner.evaluate(w, PfSpec{"gaze:pht4ss"}).speedup;
+        double b = runner.evaluate(w, PfSpec{"gaze:sm4ss"}).speedup;
+        double c = runner.evaluate(w, PfSpec{"gaze"}).speedup;
+        table.addRow({name, TextTable::fmt(a), TextTable::fmt(b),
+                      TextTable::fmt(c)});
+    }
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("expected: near-ties on the init phase; on interleaved "
+                "phases the dedicated module (SM4SS ~ Gaze) beats the "
+                "naive PHT replay (PHT4SS).\n");
+    return 0;
+}

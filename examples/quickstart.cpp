@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Quickstart: build a single-core Table-II system, run one workload
+ * with and without the Gaze prefetcher, and print the headline
+ * metrics. This is the smallest end-to-end use of the public API:
+ *
+ *   Runner (harness) -> System (simulator) -> GazePrefetcher (core).
+ */
+
+#include <cstdio>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "workloads/suites.hh"
+
+int
+main()
+{
+    using namespace gaze;
+
+    // 1. Pick a workload from the suite registry. fotonik3d_s is the
+    //    paper's Fig. 2 example: recurring spatial footprints whose
+    //    internal access order identifies the pattern.
+    const WorkloadDef &workload = findWorkload("fotonik3d_s");
+
+    // 2. A Runner owns the system configuration and the no-prefetch
+    //    baselines used by speedup/coverage.
+    RunConfig cfg; // Table II defaults: 4-wide OoO, 48K/512K/2M, DDR4
+    Runner runner(cfg);
+
+    // 3. Evaluate prefetchers by factory spec string.
+    TextTable table({"prefetcher", "speedup", "accuracy", "coverage",
+                     "late"});
+    for (const char *spec : {"ip_stride", "pmp", "vberti", "gaze"}) {
+        PrefetchMetrics m = runner.evaluate(workload, PfSpec{spec});
+        table.addRow({spec, TextTable::fmt(m.speedup),
+                      TextTable::pct(m.accuracy),
+                      TextTable::pct(m.coverage),
+                      TextTable::pct(m.lateFraction)});
+    }
+
+    std::printf("quickstart: %s (%s suite)\n\n%s",
+                workload.name.c_str(), workload.suite.c_str(),
+                table.toString().c_str());
+    return 0;
+}

@@ -1,0 +1,141 @@
+#include "common/bitset.hh"
+
+#include <bit>
+
+namespace gaze
+{
+
+Bitset::Bitset(size_t num_bits)
+    : numBits(num_bits), words((num_bits + 63) / 64, 0)
+{
+    GAZE_ASSERT(num_bits > 0, "empty bitset");
+}
+
+void
+Bitset::clearAll()
+{
+    for (auto &w : words)
+        w = 0;
+}
+
+void
+Bitset::setAll()
+{
+    for (auto &w : words)
+        w = ~0ULL;
+    // Mask tail bits beyond numBits so count()/all() stay exact.
+    size_t tail = numBits & 63;
+    if (tail)
+        words.back() &= (1ULL << tail) - 1;
+}
+
+size_t
+Bitset::count() const
+{
+    size_t n = 0;
+    for (auto w : words)
+        n += std::popcount(w);
+    return n;
+}
+
+bool
+Bitset::all() const
+{
+    return count() == numBits;
+}
+
+bool
+Bitset::any() const
+{
+    for (auto w : words)
+        if (w)
+            return true;
+    return false;
+}
+
+size_t
+Bitset::leadingRun() const
+{
+    size_t run = 0;
+    for (auto w : words) {
+        if (w == ~0ULL) {
+            run += 64;
+            continue;
+        }
+        run += std::countr_one(w);
+        break;
+    }
+    return run > numBits ? numBits : run;
+}
+
+size_t
+Bitset::findFirst() const
+{
+    return findNext(0);
+}
+
+size_t
+Bitset::findNext(size_t from) const
+{
+    if (from >= numBits)
+        return numBits;
+    size_t w = from >> 6;
+    uint64_t cur = words[w] & (~0ULL << (from & 63));
+    while (true) {
+        if (cur)
+            return (w << 6) + std::countr_zero(cur);
+        if (++w >= words.size())
+            return numBits;
+        cur = words[w];
+    }
+}
+
+Bitset &
+Bitset::operator|=(const Bitset &o)
+{
+    GAZE_ASSERT(numBits == o.numBits, "size mismatch");
+    for (size_t i = 0; i < words.size(); ++i)
+        words[i] |= o.words[i];
+    return *this;
+}
+
+Bitset &
+Bitset::operator&=(const Bitset &o)
+{
+    GAZE_ASSERT(numBits == o.numBits, "size mismatch");
+    for (size_t i = 0; i < words.size(); ++i)
+        words[i] &= o.words[i];
+    return *this;
+}
+
+bool
+Bitset::operator==(const Bitset &o) const
+{
+    return numBits == o.numBits && words == o.words;
+}
+
+std::string
+Bitset::toString() const
+{
+    std::string s;
+    s.reserve(numBits);
+    for (size_t i = 0; i < numBits; ++i)
+        s.push_back(test(i) ? '1' : '0');
+    return s;
+}
+
+Bitset
+operator|(Bitset a, const Bitset &b)
+{
+    a |= b;
+    return a;
+}
+
+Bitset
+operator&(Bitset a, const Bitset &b)
+{
+    a &= b;
+    return a;
+}
+
+} // namespace gaze

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Dynamic bitset used for spatial footprints and prefetch patterns.
+ *
+ * A spatial region of R bytes has R/64 block offsets; the default 4KB
+ * region needs 64 bits, but vGaze regions go up to 64KB (1024 bits), so
+ * footprints are dynamically sized. The word layout is little-endian:
+ * bit i lives in word i/64 at position i%64.
+ */
+
+#ifndef GAZE_COMMON_BITSET_HH
+#define GAZE_COMMON_BITSET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace gaze
+{
+
+/** A fixed-size-at-construction bitset sized for region footprints. */
+class Bitset
+{
+  public:
+    /** Construct an all-zero bitset of @p num_bits bits. */
+    explicit Bitset(size_t num_bits = 64);
+
+    /** Number of bits this set holds. */
+    size_t size() const { return numBits; }
+
+    /** Set bit @p i. */
+    void
+    set(size_t i)
+    {
+        checkIndex(i);
+        words[i >> 6] |= 1ULL << (i & 63);
+    }
+
+    /** Clear bit @p i. */
+    void
+    reset(size_t i)
+    {
+        checkIndex(i);
+        words[i >> 6] &= ~(1ULL << (i & 63));
+    }
+
+    /** Test bit @p i. */
+    bool
+    test(size_t i) const
+    {
+        checkIndex(i);
+        return (words[i >> 6] >> (i & 63)) & 1;
+    }
+
+    /** Clear all bits. */
+    void clearAll();
+
+    /** Set all bits. */
+    void setAll();
+
+    /** Number of set bits. */
+    size_t count() const;
+
+    /** True iff every bit is set ("entirely requested" in the paper). */
+    bool all() const;
+
+    /** True iff at least one bit is set. */
+    bool any() const;
+
+    /** True iff no bit is set. */
+    bool none() const { return !any(); }
+
+    /** Fraction of set bits; the paper's footprint "density". */
+    double density() const { return size() ? double(count()) / size() : 0.0; }
+
+    /**
+     * Length of the contiguous run of set bits starting at bit 0
+     * (0 when bit 0 is clear). Streaming footprints are recognized by
+     * a long leading run even when the generation was truncated.
+     */
+    size_t leadingRun() const;
+
+    /** Index of the lowest set bit, or size() when empty. */
+    size_t findFirst() const;
+
+    /** Index of the lowest set bit at or after @p from, or size(). */
+    size_t findNext(size_t from) const;
+
+    /** In-place union. Sizes must match. */
+    Bitset &operator|=(const Bitset &o);
+
+    /** In-place intersection. Sizes must match. */
+    Bitset &operator&=(const Bitset &o);
+
+    bool operator==(const Bitset &o) const;
+    bool operator!=(const Bitset &o) const { return !(*this == o); }
+
+    /** Raw word access for tests and hashing (word 0 = bits 0..63). */
+    uint64_t word(size_t w) const { return words[w]; }
+
+    /** Number of 64-bit words backing this set. */
+    size_t numWords() const { return words.size(); }
+
+    /** "0101..."-style string, bit 0 first; handy in test failures. */
+    std::string toString() const;
+
+  private:
+    void
+    checkIndex(size_t i) const
+    {
+        GAZE_ASSERT(i < numBits, "bit ", i, " out of range ", numBits);
+    }
+
+    size_t numBits;
+    std::vector<uint64_t> words;
+};
+
+/** Union of two equal-size bitsets. */
+Bitset operator|(Bitset a, const Bitset &b);
+
+/** Intersection of two equal-size bitsets. */
+Bitset operator&(Bitset a, const Bitset &b);
+
+} // namespace gaze
+
+#endif // GAZE_COMMON_BITSET_HH

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Generic set-associative, LRU-replaced lookup table.
+ *
+ * Every metadata structure in the paper is a small set-associative table
+ * with LRU replacement: Gaze's FT (8-way x 64), AT (8-way x 64),
+ * PHT (4-way x 64 sets), PB (8-way x 32), DPCT (fully associative x 8),
+ * and the equivalents inside SMS/Bingo/DSPatch/PMP. This template
+ * implements that shape once, with eviction reporting so callers can run
+ * "learning on eviction" logic (e.g. the AT sends its footprint to the
+ * PHM when an entry is replaced).
+ */
+
+#ifndef GAZE_COMMON_LRU_TABLE_HH
+#define GAZE_COMMON_LRU_TABLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace gaze
+{
+
+/**
+ * Set-associative table of EntryT payloads addressed by (set, tag).
+ *
+ * The caller owns the set-index and tag derivation (tables in the paper
+ * index by region number, trigger offset, hashed PC, ...). A table with
+ * one set is fully associative.
+ */
+template <typename EntryT>
+class LruTable
+{
+  public:
+    /** An evicted (tag, payload) pair reported from insert(). */
+    struct Evicted
+    {
+        uint64_t tag;
+        EntryT data;
+    };
+
+    /**
+     * @param num_sets number of sets (>=1)
+     * @param num_ways associativity (>=1)
+     */
+    LruTable(size_t num_sets, size_t num_ways)
+        : numSets(num_sets), numWays(num_ways),
+          slots(num_sets * num_ways), setStamp(num_sets, 0)
+    {
+        GAZE_ASSERT(num_sets >= 1 && num_ways >= 1, "bad geometry");
+    }
+
+    /** Total capacity in entries. */
+    size_t capacity() const { return numSets * numWays; }
+
+    size_t sets() const { return numSets; }
+    size_t ways() const { return numWays; }
+
+    /**
+     * Look up (set, tag); returns the payload or nullptr.
+     * @param touch refresh the entry's LRU position on hit (default).
+     */
+    EntryT *
+    find(uint64_t set, uint64_t tag, bool touch = true)
+    {
+        Slot *s = findSlot(set, tag);
+        if (!s)
+            return nullptr;
+        if (touch)
+            s->stamp = nextStamp(set);
+        return &s->data;
+    }
+
+    /** Const lookup that never touches LRU state. */
+    const EntryT *
+    peek(uint64_t set, uint64_t tag) const
+    {
+        const Slot *s = const_cast<LruTable *>(this)->findSlot(set, tag);
+        return s ? &s->data : nullptr;
+    }
+
+    /** True iff (set, tag) is present. */
+    bool contains(uint64_t set, uint64_t tag) const
+    {
+        return peek(set, tag) != nullptr;
+    }
+
+    /**
+     * Insert (or overwrite) the payload for (set, tag), refreshing LRU.
+     * When the set is full and the tag is new, the LRU way is replaced
+     * and its contents returned so the caller can learn from it.
+     */
+    std::optional<Evicted>
+    insert(uint64_t set, uint64_t tag, EntryT data)
+    {
+        checkSet(set);
+        Slot *hit = findSlot(set, tag);
+        if (hit) {
+            hit->data = std::move(data);
+            hit->stamp = nextStamp(set);
+            return std::nullopt;
+        }
+
+        Slot *victim = nullptr;
+        for (size_t w = 0; w < numWays; ++w) {
+            Slot &s = slotAt(set, w);
+            if (!s.valid) {
+                victim = &s;
+                break;
+            }
+            if (!victim || s.stamp < victim->stamp)
+                victim = &s;
+        }
+
+        std::optional<Evicted> out;
+        if (victim->valid)
+            out = Evicted{victim->tag, std::move(victim->data)};
+        victim->valid = true;
+        victim->tag = tag;
+        victim->data = std::move(data);
+        victim->stamp = nextStamp(set);
+        return out;
+    }
+
+    /**
+     * Remove (set, tag) and return its payload, if present.
+     * Used when a region is deactivated explicitly (e.g. a tracked
+     * block is evicted from the cache, ending the AT generation).
+     */
+    std::optional<EntryT>
+    erase(uint64_t set, uint64_t tag)
+    {
+        Slot *s = findSlot(set, tag);
+        if (!s)
+            return std::nullopt;
+        s->valid = false;
+        return std::move(s->data);
+    }
+
+    /** Drop every entry. */
+    void
+    clear()
+    {
+        for (auto &s : slots)
+            s.valid = false;
+    }
+
+    /** Number of valid entries (O(capacity)). */
+    size_t
+    occupancy() const
+    {
+        size_t n = 0;
+        for (const auto &s : slots)
+            n += s.valid;
+        return n;
+    }
+
+    /**
+     * Visit every valid entry as fn(set, tag, EntryT&). Iteration order
+     * is unspecified; mutation of payloads is allowed.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (size_t set = 0; set < numSets; ++set) {
+            for (size_t w = 0; w < numWays; ++w) {
+                Slot &s = slotAt(set, w);
+                if (s.valid)
+                    fn(set, s.tag, s.data);
+            }
+        }
+    }
+
+    /**
+     * Return the tag that LRU would evict next from @p set, if the set
+     * is full; nullopt while there is still an invalid way.
+     */
+    std::optional<uint64_t>
+    victimTag(uint64_t set) const
+    {
+        checkSet(set);
+        const Slot *victim = nullptr;
+        for (size_t w = 0; w < numWays; ++w) {
+            const Slot &s = slots[set * numWays + w];
+            if (!s.valid)
+                return std::nullopt;
+            if (!victim || s.stamp < victim->stamp)
+                victim = &s;
+        }
+        return victim->tag;
+    }
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        uint64_t stamp = 0;
+        EntryT data{};
+    };
+
+    void
+    checkSet(uint64_t set) const
+    {
+        GAZE_ASSERT(set < numSets, "set ", set, " out of range ", numSets);
+    }
+
+    Slot &slotAt(size_t set, size_t way) { return slots[set * numWays + way]; }
+
+    Slot *
+    findSlot(uint64_t set, uint64_t tag)
+    {
+        checkSet(set);
+        for (size_t w = 0; w < numWays; ++w) {
+            Slot &s = slotAt(set, w);
+            if (s.valid && s.tag == tag)
+                return &s;
+        }
+        return nullptr;
+    }
+
+    uint64_t nextStamp(uint64_t set) { return ++setStamp[set]; }
+
+    size_t numSets;
+    size_t numWays;
+    std::vector<Slot> slots;
+    std::vector<uint64_t> setStamp;
+};
+
+} // namespace gaze
+
+#endif // GAZE_COMMON_LRU_TABLE_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**) used by the
+ * synthetic workload generators and the tests. Determinism matters: the
+ * suites must generate identical traces across runs so experiments are
+ * reproducible.
+ */
+
+#ifndef GAZE_COMMON_RNG_HH
+#define GAZE_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace gaze
+{
+
+/** Small, fast, seedable RNG; never use std::rand in the simulator. */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 so nearby seeds give unrelated streams. */
+    explicit Rng(uint64_t seed = 1)
+    {
+        uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9e3779b97f4a7c15ULL;
+            word = mix64(x);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t result = rotl(state[1] * 5, 7) * 9;
+        uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Multiply-shift bounded draw; bias is negligible at our scales.
+        return static_cast<uint64_t>(
+            (static_cast<__uint128_t>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Skewed draw in [0, n): floor(n * u^(1+s)) concentrates mass on low
+     * ranks as @p s grows (s=0 is uniform). A cheap stand-in for Zipf
+     * popularity, used for hot/cold page selection in the workloads.
+     */
+    uint64_t
+    skewed(uint64_t n, double s = 1.0)
+    {
+        double u = uniform();
+        uint64_t idx = static_cast<uint64_t>(std::pow(u, 1.0 + s) * n);
+        return idx >= n ? n - 1 : idx;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state[4];
+};
+
+} // namespace gaze
+
+#endif // GAZE_COMMON_RNG_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Saturating counter used by confidence fields throughout the prefetchers
+ * and by the paper's 3-bit Dense Counter (DC), which has asymmetric
+ * update rules: slow increment, and a decrement that halves large values.
+ */
+
+#ifndef GAZE_COMMON_SAT_COUNTER_HH
+#define GAZE_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/log.hh"
+
+namespace gaze
+{
+
+/** An unsigned saturating counter with a configurable maximum. */
+class SatCounter
+{
+  public:
+    /** Construct with saturation value @p max_value and initial @p value. */
+    explicit SatCounter(uint32_t max_value, uint32_t value = 0)
+        : maxValue(max_value), cur(value)
+    {
+        GAZE_ASSERT(value <= max_value, "initial value above max");
+    }
+
+    /** Current value. */
+    uint32_t value() const { return cur; }
+
+    /** Saturation value. */
+    uint32_t max() const { return maxValue; }
+
+    /** True when the counter is at its maximum. */
+    bool saturated() const { return cur == maxValue; }
+
+    /** Add @p n, saturating at max(). */
+    void
+    increment(uint32_t n = 1)
+    {
+        cur = (maxValue - cur < n) ? maxValue : cur + n;
+    }
+
+    /** Subtract @p n, saturating at zero. */
+    void
+    decrement(uint32_t n = 1)
+    {
+        cur = (cur < n) ? 0 : cur - n;
+    }
+
+    /** Halve the value (the DC's "fast decrement"). */
+    void halve() { cur /= 2; }
+
+    /** Set to an explicit value clamped to [0, max]. */
+    void
+    assign(uint32_t v)
+    {
+        cur = v > maxValue ? maxValue : v;
+    }
+
+    /** Reset to zero. */
+    void clear() { cur = 0; }
+
+  private:
+    uint32_t maxValue;
+    uint32_t cur;
+};
+
+/**
+ * The paper's Dense Counter: 3 bits, slow increment (+1), and a
+ * decrement that is fast (halving) while the value is above the
+ * half-saturation threshold and slow (-1) otherwise (§III-C, Fig. 3a).
+ */
+class DenseCounter
+{
+  public:
+    static constexpr uint32_t maxValue = 7;       ///< 3-bit saturation
+    static constexpr uint32_t halfThreshold = 2;  ///< the paper's "DC > 2"
+
+    /** Current value in [0, 7]. */
+    uint32_t value() const { return ctr.value(); }
+
+    /** True when fully saturated ("DC full" in Fig. 3c). */
+    bool full() const { return ctr.saturated(); }
+
+    /** True when above the half threshold ("DC > 2"). */
+    bool aboveHalf() const { return ctr.value() > halfThreshold; }
+
+    /** A dense (entirely-requested) streaming region was learned. */
+    void onDense() { ctr.increment(); }
+
+    /** A streaming-triggered region turned out not dense. */
+    void
+    onSparse()
+    {
+        if (aboveHalf())
+            ctr.halve();
+        else
+            ctr.decrement();
+    }
+
+    /** Reset to zero. */
+    void clear() { ctr.clear(); }
+
+  private:
+    SatCounter ctr{maxValue, 0};
+};
+
+} // namespace gaze
+
+#endif // GAZE_COMMON_SAT_COUNTER_HH

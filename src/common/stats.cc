@@ -1,0 +1,44 @@
+#include "common/stats.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace gaze
+{
+
+void
+StatSet::add(const std::string &name, double value)
+{
+    values.emplace_back(name, value);
+}
+
+void
+StatSet::add(const std::string &name, uint64_t value)
+{
+    values.emplace_back(name, static_cast<double>(value));
+}
+
+std::string
+StatSet::toString() const
+{
+    size_t width = 0;
+    for (const auto &[name, v] : values)
+        width = std::max(width, name.size());
+
+    std::ostringstream os;
+    for (const auto &[name, v] : values) {
+        char buf[64];
+        if (v == static_cast<double>(static_cast<uint64_t>(v)))
+            std::snprintf(buf, sizeof(buf), "%llu",
+                          static_cast<unsigned long long>(v));
+        else
+            std::snprintf(buf, sizeof(buf), "%.4f", v);
+        os << name;
+        for (size_t i = name.size(); i < width + 2; ++i)
+            os << ' ';
+        os << buf << '\n';
+    }
+    return os.str();
+}
+
+} // namespace gaze

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Tiny named-statistics helper used by examples and benches to print
+ * component counters uniformly. The heavy lifting (speedup, accuracy,
+ * coverage math) lives in src/harness/metrics.
+ */
+
+#ifndef GAZE_COMMON_STATS_HH
+#define GAZE_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gaze
+{
+
+/** An ordered list of (name, value) pairs with aligned printing. */
+class StatSet
+{
+  public:
+    /** Add a counter line. */
+    void add(const std::string &name, double value);
+    void add(const std::string &name, uint64_t value);
+
+    /** Render as aligned "name .... value" lines. */
+    std::string toString() const;
+
+    const std::vector<std::pair<std::string, double>> &entries() const
+    {
+        return values;
+    }
+
+  private:
+    std::vector<std::pair<std::string, double>> values;
+};
+
+} // namespace gaze
+
+#endif // GAZE_COMMON_STATS_HH

@@ -1,0 +1,95 @@
+#include "harness/export.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace gaze
+{
+namespace
+{
+
+const char *
+resultsDir()
+{
+    return std::getenv("GAZE_RESULTS_DIR");
+}
+
+} // namespace
+
+CsvExport::CsvExport(std::string name_)
+    : name(std::move(name_))
+{
+}
+
+bool
+CsvExport::enabled()
+{
+    const char *dir = resultsDir();
+    return dir != nullptr && dir[0] != '\0';
+}
+
+void
+CsvExport::header(std::vector<std::string> columns)
+{
+    head = std::move(columns);
+}
+
+void
+CsvExport::row(std::vector<std::string> cells)
+{
+    GAZE_ASSERT(head.empty() || cells.size() == head.size(),
+                "csv row width mismatch in ", name);
+    rows.push_back(std::move(cells));
+}
+
+std::string
+CsvExport::escape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+CsvExport::toCsv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                os << ',';
+            os << escape(cells[i]);
+        }
+        os << '\n';
+    };
+    if (!head.empty())
+        emit(head);
+    for (const auto &r : rows)
+        emit(r);
+    return os.str();
+}
+
+std::string
+CsvExport::write() const
+{
+    if (!enabled())
+        return {};
+    std::string path = std::string(resultsDir()) + "/" + name + ".csv";
+    std::ofstream out(path);
+    if (!out)
+        GAZE_FATAL("cannot write results file '", path, "'");
+    out << toCsv();
+    return path;
+}
+
+} // namespace gaze

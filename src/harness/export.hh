@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Machine-readable result export, mirroring the paper artifact's
+ * json-directory workflow: when GAZE_RESULTS_DIR is set, every bench
+ * writes its tables as CSV files there (one per experiment), so the
+ * figures can be re-plotted without scraping stdout.
+ */
+
+#ifndef GAZE_HARNESS_EXPORT_HH
+#define GAZE_HARNESS_EXPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace gaze
+{
+
+/** A named grid of cells destined for "<dir>/<name>.csv". */
+class CsvExport
+{
+  public:
+    /** @param name experiment id, e.g. "fig06_speedup". */
+    explicit CsvExport(std::string name);
+
+    /** Set the header row. */
+    void header(std::vector<std::string> columns);
+
+    /** Append a data row (quoted/escaped as needed). */
+    void row(std::vector<std::string> cells);
+
+    /**
+     * Write to $GAZE_RESULTS_DIR/<name>.csv. No-op (returns empty)
+     * when the variable is unset; returns the written path otherwise.
+     * Fatal if the directory is not writable.
+     */
+    std::string write() const;
+
+    /** Render as CSV text (exposed for tests). */
+    std::string toCsv() const;
+
+    /** True when GAZE_RESULTS_DIR is configured. */
+    static bool enabled();
+
+  private:
+    static std::string escape(const std::string &cell);
+
+    std::string name;
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace gaze
+
+#endif // GAZE_HARNESS_EXPORT_HH

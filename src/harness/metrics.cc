@@ -1,0 +1,118 @@
+#include "harness/metrics.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace gaze
+{
+
+double
+RunResult::ipc() const
+{
+    if (cores.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &c : cores)
+        sum += c.ipc();
+    return sum / double(cores.size());
+}
+
+namespace
+{
+
+void
+accumulate(CacheStats &into, const CacheStats &from)
+{
+    into.loadAccess += from.loadAccess;
+    into.loadHit += from.loadHit;
+    into.loadMiss += from.loadMiss;
+    into.rfoAccess += from.rfoAccess;
+    into.rfoHit += from.rfoHit;
+    into.rfoMiss += from.rfoMiss;
+    into.wbAccess += from.wbAccess;
+    into.wbHit += from.wbHit;
+    into.wbMiss += from.wbMiss;
+    into.pfIssued += from.pfIssued;
+    into.pfDroppedFull += from.pfDroppedFull;
+    into.pfDroppedDup += from.pfDroppedDup;
+    into.pfDroppedHit += from.pfDroppedHit;
+    into.pfDroppedMshr += from.pfDroppedMshr;
+    into.pfMshrWait += from.pfMshrWait;
+    into.pfDemoted += from.pfDemoted;
+    into.pfFilled += from.pfFilled;
+    into.pfUseful += from.pfUseful;
+    into.pfUseless += from.pfUseless;
+    into.pfLate += from.pfLate;
+    into.mshrMerge += from.mshrMerge;
+    into.mshrFullStall += from.mshrFullStall;
+    into.writebacksSent += from.writebacksSent;
+    into.demandMissLatencySum += from.demandMissLatencySum;
+    into.demandMissLatencyCnt += from.demandMissLatencyCnt;
+}
+
+} // namespace
+
+RunResult
+collectResult(System &sys, std::vector<CoreResult> cores)
+{
+    RunResult r;
+    r.cores = std::move(cores);
+    for (uint32_t c = 0; c < sys.numCores(); ++c) {
+        accumulate(r.l1d, sys.l1d(c).stats());
+        accumulate(r.l2, sys.l2(c).stats());
+    }
+    r.llc = sys.llc().stats();
+    r.dram = sys.dram().stats();
+    return r;
+}
+
+PrefetchMetrics
+computeMetrics(const RunResult &base, const RunResult &with_pf)
+{
+    PrefetchMetrics m;
+
+    double base_ipc = base.ipc();
+    double pf_ipc = with_pf.ipc();
+    m.speedup = base_ipc > 0.0 ? pf_ipc / base_ipc : 1.0;
+
+    // Overall accuracy over prefetch fills at L1D and L2C: useful
+    // counts both demand-hit-after-fill and late (demand merged while
+    // in flight), since late prefetches still hid most of the miss.
+    uint64_t filled = with_pf.l1d.pfFilled + with_pf.l2.pfFilled;
+    uint64_t useful = with_pf.l1d.pfUseful + with_pf.l2.pfUseful;
+    uint64_t late = with_pf.l1d.pfLate + with_pf.l2.pfLate;
+    m.pfFilled = filled;
+    m.pfUseful = useful;
+    m.pfLate = late;
+    m.pfIssued = with_pf.l1d.pfIssued + with_pf.l2.pfIssued;
+    uint64_t denom = filled + late;
+    m.accuracy = denom ? double(useful + late) / denom : 0.0;
+    if (m.accuracy > 1.0)
+        m.accuracy = 1.0;
+
+    // LLC coverage: removed fraction of baseline LLC demand misses.
+    m.llcMissBase = base.llc.demandMiss();
+    m.llcMissPf = with_pf.llc.demandMiss();
+    if (m.llcMissBase > 0) {
+        double removed = double(m.llcMissBase)
+                         - double(std::min(m.llcMissPf, m.llcMissBase));
+        m.coverage = removed / double(m.llcMissBase);
+    }
+
+    uint64_t useful_all = useful + late;
+    m.lateFraction = useful_all ? double(late) / useful_all : 0.0;
+    return m;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    GAZE_ASSERT(!values.empty(), "geomean of nothing");
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v > 1e-9 ? v : 1e-9);
+    return std::exp(log_sum / double(values.size()));
+}
+
+} // namespace gaze

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Metric definitions from §IV-A3:
+ *
+ *  - Speedup: IPC with prefetching / IPC without.
+ *  - Overall accuracy: useful prefetched blocks at L1D and L2C over
+ *    all prefetched blocks filled at those levels (na+ma over
+ *    na+nb+ma+mb) — L2C-targeted prefetches count even though the L1D
+ *    cannot see them.
+ *  - LLC coverage: fraction of baseline LLC demand misses removed by
+ *    prefetching.
+ *  - Late fraction: demand hits on in-flight prefetch MSHRs over all
+ *    useful prefetches (late ones included).
+ */
+
+#ifndef GAZE_HARNESS_METRICS_HH
+#define GAZE_HARNESS_METRICS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cache.hh"
+#include "sim/dram.hh"
+#include "sim/system.hh"
+
+namespace gaze
+{
+
+/** Aggregated outcome of one simulation run. */
+struct RunResult
+{
+    std::vector<CoreResult> cores;
+
+    CacheStats l1d;  ///< summed over cores
+    CacheStats l2;   ///< summed over cores
+    CacheStats llc;
+    DramStats dram;
+
+    /** Arithmetic-mean IPC across cores (per-core IPCs for mixes). */
+    double ipc() const;
+
+    /** Per-core IPC. */
+    double coreIpc(uint32_t cpu) const { return cores[cpu].ipc(); }
+};
+
+/** Derived prefetching metrics for a (baseline, prefetch) run pair. */
+struct PrefetchMetrics
+{
+    double speedup = 1.0;
+    double accuracy = 0.0;
+    double coverage = 0.0;
+    double lateFraction = 0.0;
+
+    uint64_t pfIssued = 0;
+    uint64_t pfFilled = 0;
+    uint64_t pfUseful = 0;
+    uint64_t pfLate = 0;
+    uint64_t llcMissBase = 0;
+    uint64_t llcMissPf = 0;
+};
+
+/** Sum per-level stats out of a finished system. */
+RunResult collectResult(System &sys, std::vector<CoreResult> cores);
+
+/** Compute the §IV-A3 metrics from a baseline/prefetch pair. */
+PrefetchMetrics computeMetrics(const RunResult &base,
+                               const RunResult &with_pf);
+
+/** Geometric mean of speedups (suite aggregation). */
+double geomean(const std::vector<double> &values);
+
+} // namespace gaze
+
+#endif // GAZE_HARNESS_METRICS_HH

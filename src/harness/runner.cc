@@ -1,0 +1,129 @@
+#include "harness/runner.hh"
+
+#include "common/log.hh"
+#include "prefetchers/factory.hh"
+
+namespace gaze
+{
+
+uint64_t
+RunConfig::effectiveWarmup() const
+{
+    return warmupInstr ? warmupInstr : scaledRecords(200'000);
+}
+
+uint64_t
+RunConfig::effectiveSim() const
+{
+    return simInstr ? simInstr : scaledRecords(400'000);
+}
+
+Runner::Runner(const RunConfig &config)
+    : cfg(config)
+{
+}
+
+std::string
+Runner::mixKey(const std::vector<WorkloadDef> &mix) const
+{
+    std::string key;
+    for (const auto &w : mix) {
+        key += w.name;
+        key += '|';
+    }
+    return key;
+}
+
+RunResult
+Runner::execute(const std::vector<WorkloadDef> &mix, const PfSpec &pf)
+{
+    SystemConfig sys_cfg = cfg.system;
+    sys_cfg.numCores = static_cast<uint32_t>(mix.size());
+    System sys(sys_cfg);
+
+    std::vector<VectorTrace> traces;
+    traces.reserve(mix.size());
+    for (const auto &w : mix)
+        traces.push_back(w.make());
+    for (uint32_t c = 0; c < sys.numCores(); ++c)
+        sys.setTrace(c, &traces[c]);
+
+    for (uint32_t c = 0; c < sys.numCores(); ++c) {
+        sys.setL1Prefetcher(c, makePrefetcher(pf.l1));
+        sys.setL2Prefetcher(c, makePrefetcher(pf.l2));
+    }
+
+    sys.run(cfg.effectiveWarmup());
+    sys.resetStats();
+    auto cores = sys.simulate(cfg.effectiveSim());
+    return collectResult(sys, std::move(cores));
+}
+
+RunResult
+Runner::run(const WorkloadDef &w, const PfSpec &pf)
+{
+    return execute({w}, pf);
+}
+
+RunResult
+Runner::runMix(const std::vector<WorkloadDef> &mix, const PfSpec &pf)
+{
+    return execute(mix, pf);
+}
+
+const RunResult &
+Runner::baseline(const WorkloadDef &w)
+{
+    return baselineMix({w});
+}
+
+const RunResult &
+Runner::baselineMix(const std::vector<WorkloadDef> &mix)
+{
+    std::string key = mixKey(mix);
+    auto it = baselineCache.find(key);
+    if (it != baselineCache.end())
+        return it->second;
+    RunResult r = execute(mix, PfSpec{});
+    return baselineCache.emplace(key, std::move(r)).first->second;
+}
+
+PrefetchMetrics
+Runner::evaluate(const WorkloadDef &w, const PfSpec &pf)
+{
+    const RunResult &base = baseline(w);
+    RunResult r = run(w, pf);
+    return computeMetrics(base, r);
+}
+
+PrefetchMetrics
+Runner::evaluateMix(const std::vector<WorkloadDef> &mix, const PfSpec &pf)
+{
+    const RunResult &base = baselineMix(mix);
+    RunResult r = runMix(mix, pf);
+    return computeMetrics(base, r);
+}
+
+SuiteSummary
+evaluateSuite(Runner &runner, const std::vector<WorkloadDef> &workloads,
+              const PfSpec &pf)
+{
+    GAZE_ASSERT(!workloads.empty(), "empty suite");
+    std::vector<double> speedups;
+    double acc = 0.0, cov = 0.0, late = 0.0;
+    for (const auto &w : workloads) {
+        PrefetchMetrics m = runner.evaluate(w, pf);
+        speedups.push_back(m.speedup);
+        acc += m.accuracy;
+        cov += m.coverage;
+        late += m.lateFraction;
+    }
+    SuiteSummary s;
+    s.speedup = geomean(speedups);
+    s.accuracy = acc / double(workloads.size());
+    s.coverage = cov / double(workloads.size());
+    s.lateFraction = late / double(workloads.size());
+    return s;
+}
+
+} // namespace gaze

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Experiment runner: builds a System per (configuration, prefetcher,
+ * workload/mix), executes warmup + measured phases, and caches the
+ * no-prefetch baselines that speedup/coverage are computed against.
+ * Every bench binary drives simulations exclusively through this.
+ */
+
+#ifndef GAZE_HARNESS_RUNNER_HH
+#define GAZE_HARNESS_RUNNER_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/metrics.hh"
+#include "sim/system.hh"
+#include "workloads/suites.hh"
+
+namespace gaze
+{
+
+/** One experiment's fixed context: system config + phase lengths. */
+struct RunConfig
+{
+    SystemConfig system;
+
+    /** Warmup instructions per core (0 = derive from scale). */
+    uint64_t warmupInstr = 0;
+
+    /** Measured instructions per core (0 = derive from scale). */
+    uint64_t simInstr = 0;
+
+    uint64_t effectiveWarmup() const;
+    uint64_t effectiveSim() const;
+};
+
+/** Prefetcher selection for one run. */
+struct PfSpec
+{
+    std::string l1 = "none";
+    std::string l2 = "none";
+
+    bool isNone() const { return l1 == "none" && l2 == "none"; }
+
+    std::string
+    label() const
+    {
+        return l2 == "none" ? l1 : l1 + "+" + l2;
+    }
+};
+
+/**
+ * Runs workloads under one RunConfig, memoizing baselines. Not thread
+ * safe; benches are single-threaded.
+ */
+class Runner
+{
+  public:
+    explicit Runner(const RunConfig &config);
+
+    /** Single-core run of @p w with @p pf. */
+    RunResult run(const WorkloadDef &w, const PfSpec &pf);
+
+    /** Multi-core run: one workload per core (homogeneous = N copies). */
+    RunResult runMix(const std::vector<WorkloadDef> &mix,
+                     const PfSpec &pf);
+
+    /** Cached no-prefetch baseline for @p w. */
+    const RunResult &baseline(const WorkloadDef &w);
+
+    /** Cached no-prefetch baseline for a mix. */
+    const RunResult &baselineMix(const std::vector<WorkloadDef> &mix);
+
+    /** Convenience: run + baseline + metric math. */
+    PrefetchMetrics evaluate(const WorkloadDef &w, const PfSpec &pf);
+
+    /** Mix evaluation (speedup from mean IPC, as the paper plots). */
+    PrefetchMetrics evaluateMix(const std::vector<WorkloadDef> &mix,
+                                const PfSpec &pf);
+
+    const RunConfig &config() const { return cfg; }
+
+  private:
+    RunResult execute(const std::vector<WorkloadDef> &mix,
+                      const PfSpec &pf);
+    std::string mixKey(const std::vector<WorkloadDef> &mix) const;
+
+    RunConfig cfg;
+    std::map<std::string, RunResult> baselineCache;
+};
+
+/**
+ * Suite-level helper: geometric-mean speedup of @p pf over the
+ * workloads of @p suite (the bars of Figs. 6-8).
+ */
+struct SuiteSummary
+{
+    double speedup = 1.0;
+    double accuracy = 0.0;
+    double coverage = 0.0;
+    double lateFraction = 0.0;
+};
+
+SuiteSummary evaluateSuite(Runner &runner,
+                           const std::vector<WorkloadDef> &workloads,
+                           const PfSpec &pf);
+
+} // namespace gaze
+
+#endif // GAZE_HARNESS_RUNNER_HH

@@ -1,0 +1,74 @@
+#include "harness/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace gaze
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : header(std::move(headers))
+{
+    GAZE_ASSERT(!header.empty(), "table without columns");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    GAZE_ASSERT(cells.size() == header.size(),
+                "row width ", cells.size(), " != header width ",
+                header.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::toString() const
+{
+    std::vector<size_t> width(header.size());
+    for (size_t c = 0; c < header.size(); ++c)
+        width[c] = header[c].size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](std::ostringstream &os,
+                    const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size())
+                for (size_t i = cells[c].size(); i < width[c] + 2; ++i)
+                    os << ' ';
+        }
+        os << '\n';
+    };
+
+    std::ostringstream os;
+    emit(os, header);
+    size_t total = 0;
+    for (size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows)
+        emit(os, row);
+    return os.str();
+}
+
+std::string
+TextTable::fmt(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, v * 100.0);
+    return buf;
+}
+
+} // namespace gaze

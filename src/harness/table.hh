@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fixed-width text table used by every bench binary to print the
+ * paper's figures/tables as aligned rows.
+ */
+
+#ifndef GAZE_HARNESS_TABLE_HH
+#define GAZE_HARNESS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace gaze
+{
+
+/** A simple column-aligned text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a full row (must match the header width). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns and a header rule. */
+    std::string toString() const;
+
+    /** Format helpers. */
+    static std::string fmt(double v, int digits = 3);
+    static std::string pct(double v, int digits = 1);
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace gaze
+
+#endif // GAZE_HARNESS_TABLE_HH

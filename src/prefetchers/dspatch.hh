@@ -1,0 +1,78 @@
+/**
+ * @file
+ * DSPatch: Dual Spatial Pattern prefetcher (MICRO'19). Patterns are
+ * characterized per trigger PC and stored rotated (anchored at the
+ * trigger offset) so the same code touching different region positions
+ * merges into one signature. Each PC keeps two patterns:
+ *
+ *  - CovP (coverage-biased): bitwise OR of observed footprints,
+ *  - AccP (accuracy-biased): bitwise AND of observed footprints,
+ *
+ * and the DRAM bandwidth utilization picks between them at prediction
+ * time: plentiful bandwidth -> CovP (go wide), scarce -> AccP (only
+ * blocks every generation touched).
+ */
+
+#ifndef GAZE_PREFETCHERS_DSPATCH_HH
+#define GAZE_PREFETCHERS_DSPATCH_HH
+
+#include "prefetchers/spatial_base.hh"
+
+namespace gaze
+{
+
+struct DspatchParams
+{
+    SpatialBaseParams base; ///< 2KB regions, 64-entry PageBuffer
+
+    /** Signature Pattern Table entries (Table IV: 256, per PC). */
+    uint32_t sptSets = 64;
+    uint32_t sptWays = 4;
+
+    /** Bus utilization above which AccP is preferred. */
+    double bwThreshold = 0.50;
+
+    /** OR-merges before CovP is re-anchored to the latest footprint. */
+    uint32_t covResetPeriod = 32;
+};
+
+/** DSPatch with bandwidth-aware dual-pattern selection. */
+class DspatchPrefetcher : public SpatialPatternPrefetcher
+{
+  public:
+    explicit DspatchPrefetcher(const DspatchParams &params = {});
+
+    std::string name() const override { return "dspatch"; }
+    uint64_t storageBits() const override;
+
+    uint64_t covPredictions() const { return covUsed; }
+    uint64_t accPredictions() const { return accUsed; }
+
+  protected:
+    void predictOnTrigger(const RegionInfo &info) override;
+    void learnOnEnd(const RegionInfo &info) override;
+
+    /** Virtual so tests can script the utilization signal. */
+    virtual double busUtilization() const;
+
+  private:
+    struct Entry
+    {
+        Bitset covP{32};
+        Bitset accP{32};
+        uint32_t merges = 0;
+    };
+
+    /** Rotate so the trigger offset becomes bit 0 (anchoring). */
+    Bitset rotateLeft(const Bitset &fp, uint32_t by) const;
+
+    DspatchParams cfg;
+    LruTable<Entry> spt;
+
+    uint64_t covUsed = 0;
+    uint64_t accUsed = 0;
+};
+
+} // namespace gaze
+
+#endif // GAZE_PREFETCHERS_DSPATCH_HH

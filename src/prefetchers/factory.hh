@@ -1,0 +1,42 @@
+/**
+ * @file
+ * String-spec prefetcher factory used by the harness, benches and
+ * examples. Specs have the form "name[:key[=value]]*", e.g.:
+ *
+ *   "none"                      no prefetcher
+ *   "ip_stride"                 commercial baseline
+ *   "sms", "bingo", "dspatch", "pmp", "ipcp", "spp_ppf", "vberti"
+ *   "sms:scheme=offset:phtsets=64:phtways=1"   Fig. 1 variants
+ *   "gaze"                      full Gaze
+ *   "gaze:n=1"                  initial-access sweep (Fig. 4)
+ *   "gaze:nostream"             Gaze-PHT (Fig. 9)
+ *   "gaze:pht4ss" / "gaze:sm4ss"  streaming-module study (Fig. 10)
+ *   "gaze:region=2048"          region-size sweep (Figs. 17a, 18)
+ *   "gaze:phtsets=32"           PHT-size sweep (Fig. 17b)
+ *   "spp"                       SPP without the perceptron filter
+ */
+
+#ifndef GAZE_PREFETCHERS_FACTORY_HH
+#define GAZE_PREFETCHERS_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/prefetcher.hh"
+
+namespace gaze
+{
+
+/**
+ * Build a prefetcher from @p spec; returns nullptr for "none"/"".
+ * Unknown names or options are fatal (configuration error).
+ */
+std::unique_ptr<Prefetcher> makePrefetcher(const std::string &spec);
+
+/** All canonical single-level scheme names (for enumeration benches). */
+std::vector<std::string> knownPrefetcherSpecs();
+
+} // namespace gaze
+
+#endif // GAZE_PREFETCHERS_FACTORY_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * IP-stride: the classic per-PC constant-stride prefetcher shipped in
+ * commercial cores (the paper's "widely-used commercial prefetcher"
+ * baseline, citing Intel's smart memory access whitepaper). Each load
+ * PC tracks its last block address and last stride; after two
+ * confirmations the next blocks along the stride are prefetched.
+ */
+
+#ifndef GAZE_PREFETCHERS_IP_STRIDE_HH
+#define GAZE_PREFETCHERS_IP_STRIDE_HH
+
+#include "common/lru_table.hh"
+#include "common/sat_counter.hh"
+#include "sim/prefetcher.hh"
+
+namespace gaze
+{
+
+struct IpStrideParams
+{
+    uint32_t sets = 16;
+    uint32_t ways = 4;
+
+    /** Blocks prefetched ahead once confident. */
+    uint32_t degree = 2;
+
+    /** Extra degree when fully confident. */
+    uint32_t boostDegree = 2;
+
+    uint32_t confMax = 3;
+    uint32_t confThreshold = 2;
+};
+
+/** Per-PC stride detection with 2-bit-style confidence. */
+class IpStridePrefetcher : public Prefetcher
+{
+  public:
+    explicit IpStridePrefetcher(const IpStrideParams &params = {});
+
+    std::string name() const override { return "ip_stride"; }
+
+    void onAccess(const DemandAccess &access) override;
+
+    uint64_t storageBits() const override;
+
+  private:
+    struct Entry
+    {
+        Addr lastBlock = 0;
+        int64_t stride = 0;
+        SatCounter conf{3, 0};
+    };
+
+    IpStrideParams cfg;
+    LruTable<Entry> table;
+};
+
+} // namespace gaze
+
+#endif // GAZE_PREFETCHERS_IP_STRIDE_HH

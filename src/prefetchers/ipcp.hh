@@ -1,0 +1,104 @@
+/**
+ * @file
+ * IPCP: Instruction Pointer Classifier-based Prefetching (ISCA'20),
+ * the L1D variant. Each load IP is classified into one of three
+ * classes and prefetched accordingly:
+ *
+ *  - CS  (constant stride): per-IP stride with confidence; prefetch
+ *    `degree` blocks along the stride.
+ *  - CPLX (complex stride): a signature of recent strides indexes the
+ *    CSPT, chaining predicted strides ahead while confidence holds.
+ *  - GS  (global stream): region-density detection in the RST; dense
+ *    regions stream ahead aggressively.
+ *
+ * A small recent-requests (RR) filter suppresses duplicate issues.
+ * Table sizes follow Table IV's 0.7KB budget (64-entry IP table,
+ * 128-entry CSPT, 8-entry RST, 32-entry RR).
+ */
+
+#ifndef GAZE_PREFETCHERS_IPCP_HH
+#define GAZE_PREFETCHERS_IPCP_HH
+
+#include <vector>
+
+#include "common/bitset.hh"
+#include "common/lru_table.hh"
+#include "common/sat_counter.hh"
+#include "sim/prefetcher.hh"
+
+namespace gaze
+{
+
+struct IpcpParams
+{
+    uint32_t ipSets = 16;
+    uint32_t ipWays = 4;
+    uint32_t csptEntries = 128;
+    uint32_t rstEntries = 8;
+    uint32_t rrEntries = 32;
+
+    uint32_t csDegree = 4;
+    uint32_t cplxDepth = 3;
+    uint32_t gsDegree = 8;
+
+    /** Blocks seen in a region before it is declared streaming. */
+    uint32_t gsDenseThreshold = 24;
+};
+
+/** IPCP-L1: the composite CS/CPLX/GS classifier. */
+class IpcpPrefetcher : public Prefetcher
+{
+  public:
+    explicit IpcpPrefetcher(const IpcpParams &params = {});
+
+    std::string name() const override { return "ipcp"; }
+    void onAccess(const DemandAccess &access) override;
+    uint64_t storageBits() const override;
+
+  private:
+    enum class IpClass : uint8_t
+    {
+        None,
+        ConstantStride,
+        Complex,
+        GlobalStream
+    };
+
+    struct IpEntry
+    {
+        Addr lastBlock = 0;
+        int64_t stride = 0;
+        SatCounter conf{3, 0};
+        uint16_t signature = 0;
+        IpClass cls = IpClass::None;
+    };
+
+    struct CsptEntry
+    {
+        int64_t stride = 0;
+        SatCounter conf{3, 0};
+    };
+
+    struct RstEntry
+    {
+        uint32_t touched = 0;
+        Bitset seen{64};
+        bool streaming = false;
+    };
+
+    bool rrContains(Addr block) const;
+    void rrInsert(Addr block);
+
+    void issueLine(Addr vaddr, uint32_t fill_level);
+
+    IpcpParams cfg;
+    LruTable<IpEntry> ipTable;
+    std::vector<CsptEntry> cspt;
+    LruTable<RstEntry> rst;
+    std::vector<Addr> rr;
+    size_t rrNext = 0;
+};
+
+} // namespace gaze
+
+#endif // GAZE_PREFETCHERS_IPCP_HH

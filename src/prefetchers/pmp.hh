@@ -1,0 +1,74 @@
+/**
+ * @file
+ * PMP: Pattern Merging Prefetcher (MICRO'22, "Merging similar patterns
+ * for hardware prefetching"). The coarsest characterization in the
+ * family: patterns are keyed by the trigger *offset* alone, so a match
+ * is almost always found. To survive the resulting aliasing, each
+ * offset entry merges its last ~32 footprints into a counter vector
+ * (anchored/rotated at the trigger), and per-block confidence
+ * thresholds split the prediction into L1D and L2C targets
+ * (L1/L2 Thresh 0.5/0.15 of MaxConf 32, Table IV).
+ *
+ * A PC-indexed table (PPT) provides a second merged vote that is
+ * summed with the offset vote before thresholding.
+ */
+
+#ifndef GAZE_PREFETCHERS_PMP_HH
+#define GAZE_PREFETCHERS_PMP_HH
+
+#include <vector>
+
+#include "prefetchers/spatial_base.hh"
+
+namespace gaze
+{
+
+struct PmpParams
+{
+    SpatialBaseParams base; ///< PMP uses 4KB regions (Table IV)
+
+    /** Offset Pattern Table: one entry per trigger offset. */
+    uint32_t optEntries = 64;
+
+    /** PC Pattern Table entries. */
+    uint32_t pptEntries = 32;
+
+    /** Counter saturation = number of merged patterns (MaxConf). */
+    uint32_t maxConf = 32;
+
+    double l1Threshold = 0.50;
+    double l2Threshold = 0.15;
+
+    PmpParams() { base.regionSize = 4096; }
+};
+
+/** PMP with offset-indexed counter-vector merging. */
+class PmpPrefetcher : public SpatialPatternPrefetcher
+{
+  public:
+    explicit PmpPrefetcher(const PmpParams &params = {});
+
+    std::string name() const override { return "pmp"; }
+    uint64_t storageBits() const override;
+
+  protected:
+    void predictOnTrigger(const RegionInfo &info) override;
+    void learnOnEnd(const RegionInfo &info) override;
+
+  private:
+    struct CounterVector
+    {
+        std::vector<uint16_t> counter;
+        uint32_t merges = 0;
+    };
+
+    void mergeInto(CounterVector &cv, const RegionInfo &info);
+
+    PmpParams cfg;
+    std::vector<CounterVector> opt; ///< indexed directly by offset
+    LruTable<CounterVector> ppt;
+};
+
+} // namespace gaze
+
+#endif // GAZE_PREFETCHERS_PMP_HH

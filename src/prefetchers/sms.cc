@@ -1,0 +1,85 @@
+#include "prefetchers/sms.hh"
+
+namespace gaze
+{
+
+const char *
+smsEventSchemeName(SmsEventScheme scheme)
+{
+    switch (scheme) {
+      case SmsEventScheme::Offset: return "offset";
+      case SmsEventScheme::Pc: return "pc";
+      case SmsEventScheme::PcOffset: return "pc+offset";
+      case SmsEventScheme::PcAddr: return "pc+addr";
+    }
+    return "?";
+}
+
+SmsPrefetcher::SmsPrefetcher(const SmsParams &params)
+    : SpatialPatternPrefetcher(params.base), cfg(params),
+      pht(params.phtSets, params.phtWays)
+{
+}
+
+std::string
+SmsPrefetcher::name() const
+{
+    if (cfg.scheme == SmsEventScheme::PcOffset)
+        return "sms";
+    return std::string("sms_") + smsEventSchemeName(cfg.scheme);
+}
+
+uint64_t
+SmsPrefetcher::eventKey(const RegionInfo &info) const
+{
+    switch (cfg.scheme) {
+      case SmsEventScheme::Offset:
+        return info.trigger;
+      case SmsEventScheme::Pc:
+        return mix64(info.triggerPc);
+      case SmsEventScheme::PcOffset:
+        return mix64(info.triggerPc) ^ (uint64_t(info.trigger) << 48);
+      case SmsEventScheme::PcAddr:
+        return mix64(info.triggerPc * 0x9e3779b97f4a7c15ULL
+                     + info.triggerAddr);
+    }
+    return 0;
+}
+
+void
+SmsPrefetcher::predictOnTrigger(const RegionInfo &info)
+{
+    uint64_t key = eventKey(info);
+    const Bitset *fp = pht.find(key & (pht.sets() - 1), key);
+    if (!fp)
+        return;
+    PfPattern pat(regionBlocks(), PfLevel::None);
+    for (size_t b = fp->findFirst(); b < fp->size();
+         b = fp->findNext(b + 1))
+        pat[b] = PfLevel::L1;
+    installPattern(info, std::move(pat));
+}
+
+void
+SmsPrefetcher::learnOnEnd(const RegionInfo &info)
+{
+    uint64_t key = eventKey(info);
+    pht.insert(key & (pht.sets() - 1), key, info.footprint);
+}
+
+uint64_t
+SmsPrefetcher::storageBits() const
+{
+    // PHT entry: tag (16b effective) + LRU (4b) + bit vector.
+    uint64_t pht_bits = uint64_t(cfg.phtSets) * cfg.phtWays
+                        * (16 + 4 + regionBlocks());
+    // FT/AT/PB roughly as in Gaze's Table I accounting, scaled to the
+    // region size.
+    uint64_t ft_bits = 64ULL * (36 + 3 + 12 + 6);
+    uint64_t at_bits = 64ULL * (36 + 3 + 12 + regionBlocks());
+    uint64_t pb_bits = uint64_t(baseParams().pbEntries)
+                       * (36 + 3 + 2 * regionBlocks());
+    return pht_bits + ft_bits + at_bits + pb_bits;
+}
+
+} // namespace gaze

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Spatial Memory Streaming (SMS, ISCA'06) and its characterization-
+ * scheme generalization.
+ *
+ * SMS proper keys its Pattern History Table on PC+Offset. For the
+ * paper's Fig. 1 study this implementation generalizes the trigger
+ * event to any of {Offset, PC, PC+Offset, PC+Address}, with the PHT
+ * geometry the paper attributes to each point (64-entry for Offset,
+ * 256 for PC, 16k for the PC+Address class).
+ */
+
+#ifndef GAZE_PREFETCHERS_SMS_HH
+#define GAZE_PREFETCHERS_SMS_HH
+
+#include "prefetchers/spatial_base.hh"
+
+namespace gaze
+{
+
+/** Trigger-event characterization scheme (Fig. 1 x-axis points). */
+enum class SmsEventScheme
+{
+    Offset,   ///< trigger offset only (coarse)
+    Pc,       ///< trigger PC only (DSPatch-class)
+    PcOffset, ///< PC + offset (SMS proper)
+    PcAddr    ///< PC + full trigger address (finest, Bingo-class)
+};
+
+const char *smsEventSchemeName(SmsEventScheme scheme);
+
+struct SmsParams
+{
+    SpatialBaseParams base; ///< 2KB regions, 64-entry FT/AT (Table IV)
+
+    SmsEventScheme scheme = SmsEventScheme::PcOffset;
+
+    /** PHT geometry; default 16k entries as in Table IV. */
+    uint32_t phtSets = 1024;
+    uint32_t phtWays = 16;
+};
+
+/** SMS: learn footprints keyed by the trigger event; replay on match. */
+class SmsPrefetcher : public SpatialPatternPrefetcher
+{
+  public:
+    explicit SmsPrefetcher(const SmsParams &params = {});
+
+    std::string name() const override;
+    uint64_t storageBits() const override;
+
+    size_t phtOccupancy() const { return pht.occupancy(); }
+
+  protected:
+    void predictOnTrigger(const RegionInfo &info) override;
+    void learnOnEnd(const RegionInfo &info) override;
+
+  private:
+    uint64_t eventKey(const RegionInfo &info) const;
+
+    SmsParams cfg;
+    LruTable<Bitset> pht;
+};
+
+} // namespace gaze
+
+#endif // GAZE_PREFETCHERS_SMS_HH

@@ -1,0 +1,143 @@
+#include "prefetchers/spatial_base.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace gaze
+{
+
+SpatialPatternPrefetcher::SpatialPatternPrefetcher(
+    const SpatialBaseParams &params)
+    : base(params), blocks(params.blocksPerRegion()),
+      ft(params.ftSets, params.ftWays), at(params.atSets, params.atWays)
+{
+    GAZE_ASSERT(blocks >= 2 && isPowerOfTwo(base.regionSize),
+                "bad region size");
+}
+
+void
+SpatialPatternPrefetcher::attach(const PrefetcherContext &ctx)
+{
+    Prefetcher::attach(ctx);
+    useVirtual = ctx.level == levelL1;
+
+    PrefetchBufferParams pbp;
+    pbp.entries = base.pbEntries;
+    pbp.ways = base.pbWays;
+    pbp.issuePerCycle = base.pbIssuePerCycle;
+    pbp.blocksPerRegion = blocks;
+    pbp.virtualSpace = useVirtual;
+    pb.emplace(pbp);
+}
+
+Addr
+SpatialPatternPrefetcher::trackAddr(const DemandAccess &a) const
+{
+    return useVirtual && a.vaddr ? a.vaddr : a.paddr;
+}
+
+void
+SpatialPatternPrefetcher::installPattern(const RegionInfo &info,
+                                         PfPattern pattern)
+{
+    GAZE_ASSERT(pattern.size() == blocks, "pattern size mismatch");
+    for (size_t b = info.footprint.findFirst(); b < info.footprint.size();
+         b = info.footprint.findNext(b + 1))
+        pattern[b] = PfLevel::None;
+    if (pb)
+        pb->install(info.base, pattern, info.trigger + 1);
+}
+
+void
+SpatialPatternPrefetcher::onAccess(const DemandAccess &access)
+{
+    if (access.type != AccessType::Load)
+        return;
+
+    Addr addr = trackAddr(access);
+    Addr rbase = regionBase(addr, base.regionSize);
+    uint64_t rnum = addr / base.regionSize;
+    uint32_t off = regionOffset(addr, base.regionSize);
+
+    if (pb)
+        pb->onDemand(rbase, off);
+
+    uint64_t at_set = rnum & (at.sets() - 1);
+    if (AtEntry *e = at.find(at_set, rnum)) {
+        e->info.footprint.set(off);
+        return;
+    }
+
+    uint64_t ft_set = rnum & (ft.sets() - 1);
+    if (FtEntry *f = ft.find(ft_set, rnum)) {
+        if (f->trigger == off)
+            return;
+        AtEntry e;
+        e.info.base = rbase;
+        e.info.trigger = f->trigger;
+        e.info.triggerPc = f->triggerPc;
+        e.info.triggerAddr = f->triggerAddr;
+        e.info.footprint = Bitset(blocks);
+        e.info.footprint.set(f->trigger);
+        e.info.footprint.set(off);
+        ft.erase(ft_set, rnum);
+        auto evicted = at.insert(at_set, rnum, std::move(e));
+        if (evicted)
+            deactivate(evicted->data);
+        return;
+    }
+
+    // Region activation: conventional schemes predict right here,
+    // from the trigger's environmental context alone.
+    FtEntry fresh;
+    fresh.trigger = static_cast<uint16_t>(off);
+    fresh.triggerPc = access.pc;
+    fresh.triggerAddr = blockAlign(addr);
+    ft.insert(ft_set, rnum, fresh);
+
+    RegionInfo info;
+    info.base = rbase;
+    info.trigger = fresh.trigger;
+    info.triggerPc = fresh.triggerPc;
+    info.triggerAddr = fresh.triggerAddr;
+    info.footprint = Bitset(blocks);
+    info.footprint.set(off);
+    predictOnTrigger(info);
+}
+
+void
+SpatialPatternPrefetcher::deactivate(AtEntry &e)
+{
+    learnOnEnd(e.info);
+}
+
+void
+SpatialPatternPrefetcher::onEvict(Addr paddr, Addr vaddr)
+{
+    Addr addr = useVirtual ? vaddr : paddr;
+    if (useVirtual && vaddr == 0)
+        return;
+
+    uint64_t rnum = addr / base.regionSize;
+    uint32_t off = regionOffset(addr, base.regionSize);
+    uint64_t at_set = rnum & (at.sets() - 1);
+    AtEntry *e = at.find(at_set, rnum, /*touch=*/false);
+    if (!e || !e->info.footprint.test(off))
+        return;
+    deactivate(*e);
+    at.erase(at_set, rnum);
+}
+
+void
+SpatialPatternPrefetcher::tick()
+{
+    if (!pb)
+        return;
+    pb->drain([&](Addr a, uint32_t fill, bool virt) {
+        uint32_t lvl = std::max(fill, context.level);
+        return issuePrefetch(a, lvl, virt);
+    });
+}
+
+} // namespace gaze

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared machinery for conventional spatial-pattern prefetchers (SMS,
+ * Bingo, DSPatch, PMP): region tracking with an FT/AT pair, footprint
+ * accumulation, deactivation-on-eviction, and a uniform Prefetch
+ * Buffer — exactly the common structure §II-A describes. Subclasses
+ * supply the two scheme-specific pieces: the prediction made at the
+ * trigger access, and the learning applied when a region deactivates.
+ *
+ * The key contrast with Gaze: these schemes predict at the *first*
+ * access from environmental context (PC/offset/address), while Gaze
+ * waits for the second access and keys on footprint-internal order.
+ */
+
+#ifndef GAZE_PREFETCHERS_SPATIAL_BASE_HH
+#define GAZE_PREFETCHERS_SPATIAL_BASE_HH
+
+#include <cstdint>
+
+#include "common/bitset.hh"
+#include "common/lru_table.hh"
+#include "prefetchers/prefetch_buffer.hh"
+#include "sim/prefetcher.hh"
+
+namespace gaze
+{
+
+/** Geometry common to the spatial-pattern family. */
+struct SpatialBaseParams
+{
+    uint64_t regionSize = 2048; ///< SMS/Bingo/DSPatch use 2KB regions
+
+    uint32_t ftSets = 8;
+    uint32_t ftWays = 8;
+    uint32_t atSets = 8;
+    uint32_t atWays = 8;
+
+    uint32_t pbEntries = 32;
+    uint32_t pbWays = 8;
+    uint32_t pbIssuePerCycle = 2;
+
+    uint32_t
+    blocksPerRegion() const
+    {
+        return static_cast<uint32_t>(regionSize / blockSize);
+    }
+};
+
+/** Base class implementing the FT/AT/PB plumbing. */
+class SpatialPatternPrefetcher : public Prefetcher
+{
+  public:
+    explicit SpatialPatternPrefetcher(const SpatialBaseParams &params);
+
+    void attach(const PrefetcherContext &ctx) override;
+    void onAccess(const DemandAccess &access) override;
+    void onEvict(Addr paddr, Addr vaddr) override;
+    void tick() override;
+
+    size_t ftOccupancy() const { return ft.occupancy(); }
+    size_t atOccupancy() const { return at.occupancy(); }
+
+  protected:
+    /** Context of a region generation handed to subclasses. */
+    struct RegionInfo
+    {
+        Addr base = 0;          ///< region base address (tracked space)
+        uint16_t trigger = 0;   ///< trigger block offset
+        PC triggerPc = 0;       ///< full trigger PC
+        Addr triggerAddr = 0;   ///< full trigger block address
+        Bitset footprint{64};
+    };
+
+    /**
+     * First access to a new region: produce a prediction (install a
+     * pattern via installPattern) from the trigger's context.
+     */
+    virtual void predictOnTrigger(const RegionInfo &info) = 0;
+
+    /** Region deactivated: learn from its accumulated footprint. */
+    virtual void learnOnEnd(const RegionInfo &info) = 0;
+
+    /** Install @p pattern for the region, excluding demanded blocks. */
+    void installPattern(const RegionInfo &info, PfPattern pattern);
+
+    const SpatialBaseParams &baseParams() const { return base; }
+    uint32_t regionBlocks() const { return blocks; }
+
+  private:
+    struct FtEntry
+    {
+        uint16_t trigger = 0;
+        PC triggerPc = 0;
+        Addr triggerAddr = 0;
+    };
+
+    struct AtEntry
+    {
+        RegionInfo info;
+    };
+
+    Addr trackAddr(const DemandAccess &a) const;
+    void deactivate(AtEntry &e);
+
+    SpatialBaseParams base;
+    uint32_t blocks;
+    bool useVirtual = true;
+
+    LruTable<FtEntry> ft;
+    LruTable<AtEntry> at;
+    std::optional<PrefetchBuffer> pb;
+};
+
+} // namespace gaze
+
+#endif // GAZE_PREFETCHERS_SPATIAL_BASE_HH

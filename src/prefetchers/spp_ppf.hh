@@ -1,0 +1,128 @@
+/**
+ * @file
+ * SPP (Signature Path Prefetcher, MICRO'16) with PPF (Perceptron-based
+ * Prefetch Filtering, ISCA'19).
+ *
+ * SPP: each page's recent delta history is compressed into a
+ * signature; the Pattern Table maps signatures to candidate deltas
+ * with confidence counters. Prediction walks the signature path
+ * lookahead-style, multiplying per-step confidence, until the path
+ * confidence drops below threshold.
+ *
+ * PPF: every SPP proposal is scored by a perceptron over simple
+ * features; proposals below the threshold are rejected. Accepted
+ * prefetches are remembered so usefulness feedback (demand hit before
+ * eviction vs. evicted untouched) can train the weights. The feature
+ * set is reduced relative to the 39.3KB original (see DESIGN.md).
+ */
+
+#ifndef GAZE_PREFETCHERS_SPP_PPF_HH
+#define GAZE_PREFETCHERS_SPP_PPF_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/lru_table.hh"
+#include "sim/prefetcher.hh"
+
+namespace gaze
+{
+
+struct SppParams
+{
+    uint32_t stEntries = 256;  ///< signature table (pages tracked)
+    uint32_t ptSets = 512;     ///< pattern table sets (per signature)
+    uint32_t ptWays = 4;       ///< delta candidates per signature
+    uint32_t cMax = 15;        ///< 4-bit confidence counters
+
+    double fillThreshold = 0.90;  ///< path conf for L1 fills
+    double pfThreshold = 0.25;    ///< minimum path conf to prefetch
+    uint32_t maxDepth = 8;
+
+    bool enablePpf = true;
+    int32_t ppfThreshold = 0;       ///< accept when sum >= threshold
+    int32_t ppfWeightMax = 31;      ///< 6-bit signed weights
+    uint32_t ppfTableSize = 128;    ///< entries per feature table
+    uint32_t ppfHistory = 1024;     ///< in-flight prefetch records
+};
+
+/** SPP-PPF attached at L1D (as the paper evaluates it). */
+class SppPpfPrefetcher : public Prefetcher
+{
+  public:
+    explicit SppPpfPrefetcher(const SppParams &params = {});
+
+    std::string name() const override { return "spp_ppf"; }
+    void onAccess(const DemandAccess &access) override;
+    void onEvict(Addr paddr, Addr vaddr) override;
+    uint64_t storageBits() const override;
+
+    uint64_t proposals() const { return proposed; }
+    uint64_t rejections() const { return rejected; }
+
+  private:
+    static constexpr uint32_t numFeatures = 6;
+
+    struct StEntry
+    {
+        uint16_t signature = 0;
+        uint16_t lastOffset = 0;
+        bool valid = false;
+    };
+
+    struct PtDelta
+    {
+        int16_t delta = 0;
+        uint8_t conf = 0;
+    };
+
+    struct PtEntry
+    {
+        std::array<PtDelta, 4> ways{};
+        uint8_t total = 0;
+    };
+
+    using FeatureVec = std::array<uint16_t, numFeatures>;
+
+    static uint16_t
+    nextSignature(uint16_t sig, int16_t delta)
+    {
+        return static_cast<uint16_t>(((sig << 3)
+                                      ^ uint16_t(delta & 0x7f)) & 0xfff);
+    }
+
+    void trainPt(uint16_t sig, int16_t delta);
+
+    /** Perceptron score of a proposal; fills @p feats. */
+    int32_t score(PC pc, Addr target_vaddr, uint16_t sig, int16_t delta,
+                  uint32_t depth, double conf, FeatureVec &feats) const;
+
+    void trainPerceptron(const FeatureVec &feats, bool useful);
+
+    void recordPending(Addr block, const FeatureVec &feats);
+
+    SppParams cfg;
+    LruTable<StEntry> st;
+    std::vector<PtEntry> pt;
+
+    /** Perceptron weight tables, one per feature. */
+    std::vector<std::vector<int32_t>> weights;
+
+    /**
+     * In-flight prefetches awaiting usefulness feedback: block ->
+     * feature vector, bounded FIFO (hashed for O(1) lookup on the
+     * access path).
+     */
+    std::unordered_map<Addr, FeatureVec> pending;
+    std::deque<Addr> pendingFifo;
+
+    uint64_t proposed = 0;
+    uint64_t rejected = 0;
+};
+
+} // namespace gaze
+
+#endif // GAZE_PREFETCHERS_SPP_PPF_HH

@@ -1,0 +1,479 @@
+#include "sim/cache.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "sim/vmem.hh"
+
+namespace gaze
+{
+
+Cache::Cache(const CacheParams &params, MemoryDevice *lower_dev,
+             const Cycle *clock_ptr)
+    : cfg(params), lower(lower_dev), clock(clock_ptr),
+      blocks(size_t(params.sets) * params.ways),
+      repl(makeReplacementPolicy(params.replacement, params.sets,
+                                 params.ways))
+{
+    GAZE_ASSERT(isPowerOfTwo(cfg.sets), "sets must be a power of two");
+    GAZE_ASSERT(lower != nullptr, "cache needs a lower level");
+    GAZE_ASSERT(clock != nullptr, "cache needs a clock");
+}
+
+Cache::~Cache() = default;
+
+void
+Cache::setPrefetcher(Prefetcher *prefetcher, VirtualMemory *vm,
+                     const Dram *dram, uint32_t cpu)
+{
+    pf = prefetcher;
+    vmem = vm;
+    if (pf) {
+        PrefetcherContext ctx;
+        ctx.cache = this;
+        ctx.vmem = vm;
+        ctx.dram = dram;
+        ctx.cpu = cpu;
+        ctx.level = cfg.level;
+        pf->attach(ctx);
+    }
+}
+
+uint32_t
+Cache::setIndex(Addr paddr) const
+{
+    return static_cast<uint32_t>(blockNumber(paddr) & (cfg.sets - 1));
+}
+
+Cache::Block *
+Cache::lookup(Addr paddr)
+{
+    Addr want = blockAlign(paddr);
+    uint32_t set = setIndex(paddr);
+    for (uint32_t w = 0; w < cfg.ways; ++w) {
+        Block &b = blocks[size_t(set) * cfg.ways + w];
+        if (b.valid && b.paddr == want)
+            return &b;
+    }
+    return nullptr;
+}
+
+const Cache::Block *
+Cache::lookupConst(Addr paddr) const
+{
+    return const_cast<Cache *>(this)->lookup(paddr);
+}
+
+bool
+Cache::present(Addr paddr) const
+{
+    return lookupConst(paddr) != nullptr;
+}
+
+bool
+Cache::sendRequest(const Request &req)
+{
+    Request r = req;
+    r.paddr = blockAlign(r.paddr);
+    switch (r.type) {
+      case AccessType::Load:
+      case AccessType::Rfo:
+        if (readQ.size() >= cfg.rqSize)
+            return false;
+        readQ.push_back(r);
+        return true;
+      case AccessType::Writeback:
+        // Writebacks are sunk unconditionally (see DESIGN.md): a full
+        // WQ would otherwise deadlock fills; occupancy is still
+        // tracked so DRAM write-drain pressure is realistic.
+        writeQ.push_back(r);
+        return true;
+      case AccessType::Prefetch:
+        if (prefetchQ.size() >= cfg.pqSize) {
+            ++stat.pfDroppedFull;
+            return false;
+        }
+        prefetchQ.push_back(r);
+        return true;
+      case AccessType::Translation:
+        break;
+    }
+    GAZE_PANIC("unroutable request type");
+}
+
+bool
+Cache::issuePrefetch(Addr addr, uint32_t fill_level, bool virt,
+                     uint32_t cpu)
+{
+    // A scheme written for L1D attach may ask for an L1 fill while
+    // running at L2C (Fig. 13 combos): clamp to this cache's level.
+    fill_level = std::max(fill_level, cfg.level);
+    GAZE_ASSERT(fill_level <= levelLLC, "bad prefetch fill level");
+    Request r;
+    r.type = AccessType::Prefetch;
+    r.cpu = cpu;
+    r.fillLevel = fill_level;
+    r.pfOrigin = cfg.level;
+    r.issueCycle = now();
+    if (virt) {
+        GAZE_ASSERT(vmem, "virtual prefetch needs vmem at ", cfg.name);
+        r.vaddr = blockAlign(addr);
+        r.paddr = blockAlign(vmem->translate(addr, cpu));
+    } else {
+        r.vaddr = 0;
+        r.paddr = blockAlign(addr);
+    }
+
+    // ChampSim-style PQ dedup: an identical pending target is not
+    // queued twice (delta prefetchers re-propose the same block on
+    // every access of a cache line).
+    for (const auto &q : prefetchQ) {
+        if (q.paddr == r.paddr) {
+            ++stat.pfDroppedDup;
+            return true;
+        }
+    }
+    if (prefetchQ.size() >= cfg.pqSize) {
+        ++stat.pfDroppedFull;
+        return false;
+    }
+    prefetchQ.push_back(r);
+    ++stat.pfIssued;
+    return true;
+}
+
+void
+Cache::scheduleResponse(const Request &req, Cycle when)
+{
+    responses.push(PendingResponse{when, responseSeq++, req});
+}
+
+void
+Cache::deliverResponses()
+{
+    while (!responses.empty() && responses.top().ready <= now()) {
+        Request r = responses.top().req;
+        responses.pop();
+        if (r.requester)
+            r.requester->recvFill(r);
+    }
+}
+
+void
+Cache::notifyPrefetcherAccess(const Request &req, bool hit)
+{
+    if (!pf || !req.isDemand())
+        return;
+    DemandAccess a;
+    a.vaddr = req.vaddr;
+    a.paddr = req.paddr;
+    a.pc = req.pc;
+    a.hit = hit;
+    a.type = req.type;
+    a.cycle = now();
+    a.cpu = req.cpu;
+    pf->onAccess(a);
+}
+
+bool
+Cache::missToMshr(Request &req)
+{
+    auto it = mshr.find(req.paddr);
+    if (it != mshr.end()) {
+        MshrEntry &e = it->second;
+        if (req.isDemand()) {
+            if (e.wasPrefetchOnly && !e.demanded)
+                ++stat.pfLate;
+            e.demanded = true;
+            // A demand upgrade pulls the fill all the way in.
+            e.downstream.fillLevel =
+                std::min(e.downstream.fillLevel, req.fillLevel);
+        }
+        e.waiters.push_back(req);
+        ++stat.mshrMerge;
+        return true;
+    }
+
+    if (mshr.size() >= cfg.mshrs)
+        return false;
+
+    MshrEntry e;
+    e.downstream = req;
+    e.downstream.requester = this;
+    e.downstream.issueCycle = now();
+    e.demanded = req.isDemand();
+    e.wasPrefetchOnly = !req.isDemand();
+    e.allocCycle = now();
+    e.waiters.push_back(req);
+    e.issuedToLower = lower->sendRequest(e.downstream);
+    mshr.emplace(req.paddr, std::move(e));
+    return true;
+}
+
+bool
+Cache::handleRead(Request &req)
+{
+    bool is_load = req.type == AccessType::Load;
+
+    Block *b = lookup(req.paddr);
+    if (b) {
+        (is_load ? stat.loadAccess : stat.rfoAccess)++;
+        (is_load ? stat.loadHit : stat.rfoHit)++;
+        uint32_t set = setIndex(req.paddr);
+        uint32_t way = static_cast<uint32_t>(b - &blocks[size_t(set)
+                                                         * cfg.ways]);
+        repl->onHit(set, way);
+        if (b->prefetch) {
+            ++stat.pfUseful;
+            b->prefetch = false;
+        }
+        if (req.type == AccessType::Rfo)
+            b->dirty = true;
+        b->vaddr = req.vaddr ? blockAlign(req.vaddr) : b->vaddr;
+        notifyPrefetcherAccess(req, true);
+        scheduleResponse(req, now() + cfg.latency);
+        return true;
+    }
+
+    if (!missToMshr(req)) {
+        // Retry next cycle; count the access only when it proceeds so
+        // the prefetcher is not double-trained on stalls.
+        ++stat.mshrFullStall;
+        return false;
+    }
+    (is_load ? stat.loadAccess : stat.rfoAccess)++;
+    (is_load ? stat.loadMiss : stat.rfoMiss)++;
+    notifyPrefetcherAccess(req, false);
+    return true;
+}
+
+bool
+Cache::handleWrite(Request &req)
+{
+    ++stat.wbAccess;
+    Block *b = lookup(req.paddr);
+    if (b) {
+        ++stat.wbHit;
+        b->dirty = true;
+        return true;
+    }
+    // Non-inclusive writeback miss: the line is complete, so allocate
+    // directly without fetching from below.
+    ++stat.wbMiss;
+    fillBlock(req, /*mark_prefetch=*/false);
+    return true;
+}
+
+Cache::PfOutcome
+Cache::handlePrefetch(Request &req)
+{
+    if (req.fillLevel > cfg.level) {
+        // Targeted at a lower level: pass it down untouched. The lower
+        // cache adopts it as its own prefetch request.
+        return lower->sendRequest(req) ? PfOutcome::Done
+                                       : PfOutcome::Retry;
+    }
+
+    Block *b = lookup(req.paddr);
+    if (b) {
+        // Redundant prefetch. A requester-less prefetch (issued at
+        // this level) is simply dropped; one that came from an upper
+        // cache's MSHR must be answered or that MSHR leaks.
+        ++stat.pfDroppedHit;
+        if (req.requester) {
+            uint32_t set = setIndex(req.paddr);
+            uint32_t way = static_cast<uint32_t>(
+                b - &blocks[size_t(set) * cfg.ways]);
+            repl->onHit(set, way);
+            scheduleResponse(req, now() + cfg.latency);
+        }
+        return PfOutcome::Done;
+    }
+    if (auto it = mshr.find(req.paddr); it != mshr.end()) {
+        // Already being fetched: ride along (or drop if local).
+        ++stat.pfDroppedHit;
+        if (req.requester) {
+            it->second.waiters.push_back(req);
+            ++stat.mshrMerge;
+        }
+        return PfOutcome::Done;
+    }
+    if (mshr.size() >= cfg.mshrs) {
+        ++stat.pfMshrWait;
+        if (req.requester)
+            return PfOutcome::Retry; // dropping would leak upper MSHR
+        if (cfg.level == levelL1) {
+            // The L1 PQ holds mixed fill levels; a waiting L1-fill
+            // head would starve L2-targeted prefetches behind it.
+            // Demote it instead: fetch anyway, park one level out (a
+            // later demand hits L2 instead of DRAM — most of the
+            // benefit, none of the clog).
+            Request demoted = req;
+            demoted.fillLevel = cfg.level + 1;
+            if (!lower->sendRequest(demoted))
+                return PfOutcome::Retry;
+            ++stat.pfDemoted;
+            return PfOutcome::Done;
+        }
+        // L2/LLC PQs are homogeneous (everything targets this level
+        // or beyond), so waiting at the head starves nothing, and the
+        // fetch keeps its slot until an MSHR frees.
+        return PfOutcome::Retry;
+    }
+    return missToMshr(req) ? PfOutcome::Done : PfOutcome::Retry;
+}
+
+void
+Cache::tick()
+{
+    deliverResponses();
+    retryUnissuedMshrs();
+
+    uint32_t ops = 0;
+
+    // Demand reads take priority for tag bandwidth.
+    while (ops < cfg.tagPorts && !readQ.empty()) {
+        Request req = readQ.front();
+        if (!handleRead(req))
+            break; // MSHR full: head-of-line stall
+        readQ.pop_front();
+        ++ops;
+    }
+
+    // One writeback per cycle keeps WQ drain realistic but cheap.
+    if (!writeQ.empty()) {
+        Request req = writeQ.front();
+        writeQ.pop_front();
+        handleWrite(req);
+    }
+
+    while (ops < cfg.tagPorts && !prefetchQ.empty()) {
+        Request req = prefetchQ.front();
+        if (handlePrefetch(req) == PfOutcome::Retry)
+            break; // blocked: retry next cycle
+        prefetchQ.pop_front();
+        ++ops;
+    }
+
+    if (pf)
+        pf->tick();
+}
+
+void
+Cache::retryUnissuedMshrs()
+{
+    uint32_t budget = 2;
+    for (auto &[addr, e] : mshr) {
+        if (e.issuedToLower)
+            continue;
+        e.issuedToLower = lower->sendRequest(e.downstream);
+        if (--budget == 0)
+            break;
+    }
+}
+
+void
+Cache::fillBlock(const Request &req, bool mark_prefetch)
+{
+    uint32_t set = setIndex(req.paddr);
+    std::vector<bool> valid(cfg.ways);
+    for (uint32_t w = 0; w < cfg.ways; ++w)
+        valid[w] = blocks[size_t(set) * cfg.ways + w].valid;
+
+    uint32_t way = repl->victim(set, valid);
+    Block &b = blocks[size_t(set) * cfg.ways + way];
+
+    Addr evicted = 0;
+    if (b.valid) {
+        evicted = b.paddr;
+        if (b.prefetch)
+            ++stat.pfUseless;
+        if (b.dirty) {
+            Request wb;
+            wb.type = AccessType::Writeback;
+            wb.paddr = b.paddr;
+            wb.cpu = req.cpu;
+            wb.fillLevel = cfg.level + 1;
+            wb.issueCycle = now();
+            lower->sendRequest(wb);
+            ++stat.writebacksSent;
+        }
+        if (pf)
+            pf->onEvict(b.paddr, b.vaddr);
+    }
+
+    b.valid = true;
+    // RFO fills dirty the block at the level the store lives (L1);
+    // copies allocated further out on the response path stay clean.
+    b.dirty = req.type == AccessType::Writeback ||
+              (req.type == AccessType::Rfo && cfg.level == req.fillLevel);
+    b.prefetch = mark_prefetch;
+    b.paddr = req.paddr;
+    b.vaddr = req.vaddr ? blockAlign(req.vaddr) : 0;
+    repl->onFill(set, way, mark_prefetch);
+
+    if (mark_prefetch)
+        ++stat.pfFilled;
+
+    if (pf && req.type != AccessType::Writeback) {
+        FillEvent f;
+        f.paddr = req.paddr;
+        f.vaddr = b.vaddr;
+        f.pc = req.pc;
+        f.prefetch = mark_prefetch;
+        f.latency = now() >= req.issueCycle ? now() - req.issueCycle : 0;
+        f.evictedPaddr = evicted;
+        f.cycle = now();
+        pf->onFill(f);
+    }
+}
+
+void
+Cache::recvFill(const Request &req)
+{
+    auto it = mshr.find(req.paddr);
+    GAZE_ASSERT(it != mshr.end(), cfg.name, ": fill without MSHR for 0x",
+                std::hex, req.paddr);
+    MshrEntry e = std::move(it->second);
+    mshr.erase(it);
+
+    // Mark the block as a prefetch only when this level is the
+    // prefetch's target and no demand merged while it was in flight.
+    bool pure_prefetch = e.wasPrefetchOnly && !e.demanded;
+    bool mark_pf = pure_prefetch &&
+                   e.downstream.fillLevel == cfg.level;
+
+    // Fill wherever level >= fillLevel (response path allocation).
+    Request fill_req = e.downstream;
+    // Propagate the vaddr of the first waiter that knows it.
+    for (const auto &w : e.waiters) {
+        if (w.vaddr) {
+            fill_req.vaddr = w.vaddr;
+            break;
+        }
+    }
+    if (cfg.level >= e.downstream.fillLevel)
+        fillBlock(fill_req, mark_pf);
+
+    if (e.demanded) {
+        Cycle lat = now() - e.allocCycle;
+        stat.demandMissLatencySum += lat;
+        ++stat.demandMissLatencyCnt;
+    }
+
+    // Wake all waiters one cycle later (fill-to-use forwarding).
+    for (const auto &w : e.waiters) {
+        if (w.requester)
+            scheduleResponse(w, now() + 1);
+    }
+}
+
+bool
+Prefetcher::issuePrefetch(Addr addr, uint32_t fill_level, bool virt)
+{
+    GAZE_ASSERT(context.cache, "prefetcher not attached");
+    return context.cache->issuePrefetch(addr, fill_level, virt,
+                                        context.cpu);
+}
+
+} // namespace gaze

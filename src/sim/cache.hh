@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Set-associative, non-inclusive writeback cache with MSHRs, separate
+ * read/write/prefetch queues, per-level prefetch fill targeting, and the
+ * prefetch accounting the paper's metrics need (useful / useless / late,
+ * attributed at each prefetch's target fill level).
+ *
+ * Timing model (ChampSim-like): a bounded number of tag lookups per
+ * cycle; hits respond after the configured access latency; misses
+ * allocate an MSHR and forward downwards, and the fill propagates back
+ * up through every cache on the path, allocating wherever
+ * level >= fillLevel.
+ */
+
+#ifndef GAZE_SIM_CACHE_HH
+#define GAZE_SIM_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/prefetcher.hh"
+#include "sim/replacement.hh"
+#include "sim/request.hh"
+
+namespace gaze
+{
+
+class VirtualMemory;
+
+/** Static configuration of one cache. */
+struct CacheParams
+{
+    std::string name = "cache";
+    uint32_t level = levelL1;
+    uint32_t sets = 64;
+    uint32_t ways = 8;
+
+    /** Access (hit) latency in cycles. */
+    uint32_t latency = 5;
+
+    uint32_t mshrs = 16;
+    uint32_t rqSize = 64;
+    uint32_t wqSize = 64;
+    uint32_t pqSize = 8;
+
+    /** Tag lookups (across RQ/WQ/PQ) per cycle. */
+    uint32_t tagPorts = 2;
+
+    std::string replacement = "lru";
+
+    /** Derive sets from a byte size and associativity. */
+    static uint32_t
+    setsFor(uint64_t bytes, uint32_t ways)
+    {
+        return static_cast<uint32_t>(bytes / (uint64_t(ways) * blockSize));
+    }
+};
+
+/** Prefetch/demand counters for one cache. */
+struct CacheStats
+{
+    uint64_t loadAccess = 0;
+    uint64_t loadHit = 0;
+    uint64_t loadMiss = 0;
+    uint64_t rfoAccess = 0;
+    uint64_t rfoHit = 0;
+    uint64_t rfoMiss = 0;
+    uint64_t wbAccess = 0;
+    uint64_t wbHit = 0;
+    uint64_t wbMiss = 0;
+
+    /** Prefetch requests accepted into the PQ at this level. */
+    uint64_t pfIssued = 0;
+    /** Prefetch requests rejected because the PQ was full. */
+    uint64_t pfDroppedFull = 0;
+    /** Prefetch requests whose target was already pending in the PQ. */
+    uint64_t pfDroppedDup = 0;
+    /** Prefetch requests dropped on a tag hit (redundant prefetches). */
+    uint64_t pfDroppedHit = 0;
+    /** Prefetch requests dropped for want of an MSHR (LLC only). */
+    uint64_t pfDroppedMshr = 0;
+    /** MSHR-full events on the prefetch path (congestion signal). */
+    uint64_t pfMshrWait = 0;
+    /** Prefetches demoted one level out because MSHRs were full. */
+    uint64_t pfDemoted = 0;
+    /** Blocks filled with the prefetch bit at this level. */
+    uint64_t pfFilled = 0;
+    /** Prefetched blocks demanded before eviction. */
+    uint64_t pfUseful = 0;
+    /** Prefetched blocks evicted untouched. */
+    uint64_t pfUseless = 0;
+    /** Demand accesses that merged into an in-flight prefetch MSHR. */
+    uint64_t pfLate = 0;
+
+    uint64_t mshrMerge = 0;
+    uint64_t mshrFullStall = 0;
+    uint64_t writebacksSent = 0;
+
+    /** Sum of demand miss latencies (allocation -> fill), and count. */
+    uint64_t demandMissLatencySum = 0;
+    uint64_t demandMissLatencyCnt = 0;
+
+    uint64_t demandAccess() const { return loadAccess + rfoAccess; }
+    uint64_t demandHit() const { return loadHit + rfoHit; }
+    uint64_t demandMiss() const { return loadMiss + rfoMiss; }
+
+    double
+    avgDemandMissLatency() const
+    {
+        return demandMissLatencyCnt
+            ? double(demandMissLatencySum) / demandMissLatencyCnt : 0.0;
+    }
+
+    void reset() { *this = CacheStats{}; }
+};
+
+/**
+ * One cache level. Requests enter via sendRequest (queue-routed by
+ * type); completions from the lower level arrive via recvFill and
+ * propagate upwards to each waiting requester.
+ */
+class Cache : public MemoryDevice, public FillReceiver
+{
+  public:
+    Cache(const CacheParams &params, MemoryDevice *lower,
+          const Cycle *clock);
+
+    ~Cache() override;
+
+    Cache(const Cache &) = delete;
+    Cache &operator=(const Cache &) = delete;
+
+    /** Attach a prefetcher to this level (may be null). */
+    void setPrefetcher(Prefetcher *pf, VirtualMemory *vmem,
+                       const Dram *dram, uint32_t cpu);
+
+    // MemoryDevice
+    bool sendRequest(const Request &req) override;
+    void tick() override;
+
+    // FillReceiver
+    void recvFill(const Request &req) override;
+
+    /**
+     * Prefetcher-facing issue hook (called via
+     * Prefetcher::issuePrefetch). Translates virtual targets, aligns,
+     * and enqueues into the PQ.
+     */
+    bool issuePrefetch(Addr addr, uint32_t fill_level, bool virt,
+                       uint32_t cpu);
+
+    /** True when the block containing @p paddr is resident. */
+    bool present(Addr paddr) const;
+
+    /** Current cycle (shared system clock). */
+    Cycle now() const { return *clock; }
+
+    const CacheParams &params() const { return cfg; }
+    const CacheStats &stats() const { return stat; }
+    void resetStats() { stat.reset(); }
+
+    const std::string &name() const { return cfg.name; }
+    uint32_t level() const { return cfg.level; }
+
+    /** Number of in-flight MSHR entries (tests/backpressure checks). */
+    size_t mshrOccupancy() const { return mshr.size(); }
+
+    size_t rqOccupancy() const { return readQ.size(); }
+    size_t pqOccupancy() const { return prefetchQ.size(); }
+
+    Prefetcher *prefetcher() const { return pf; }
+
+  private:
+    struct Block
+    {
+        bool valid = false;
+        bool dirty = false;
+        bool prefetch = false;  ///< filled by prefetch, not yet demanded
+        Addr paddr = 0;         ///< block-aligned physical address
+        Addr vaddr = 0;         ///< block-aligned vaddr of last toucher
+    };
+
+    struct MshrEntry
+    {
+        Request downstream;          ///< request sent to the lower level
+        std::vector<Request> waiters;
+        bool demanded = false;       ///< a demand access depends on it
+        bool wasPrefetchOnly = false;
+        bool issuedToLower = false;
+        Cycle allocCycle = 0;
+    };
+
+    struct PendingResponse
+    {
+        Cycle ready;
+        uint64_t seq;
+        Request req;
+        bool operator>(const PendingResponse &o) const
+        {
+            return ready != o.ready ? ready > o.ready : seq > o.seq;
+        }
+    };
+
+    uint32_t setIndex(Addr paddr) const;
+    Block *lookup(Addr paddr);
+    const Block *lookupConst(Addr paddr) const;
+
+    /** Fill a block; evicts (with writeback) as needed. */
+    void fillBlock(const Request &req, bool mark_prefetch);
+
+    void scheduleResponse(const Request &req, Cycle when);
+    void deliverResponses();
+
+    /** Outcome of processing the PQ head. */
+    enum class PfOutcome
+    {
+        Done, ///< consumed (issued, merged, dropped, or forwarded)
+        Retry ///< blocked at the head; retry next cycle
+    };
+
+    bool handleRead(Request &req);
+    bool handleWrite(Request &req);
+    PfOutcome handlePrefetch(Request &req);
+
+    /** Allocate or merge into an MSHR; false => caller must stall. */
+    bool missToMshr(Request &req);
+
+    void retryUnissuedMshrs();
+
+    void notifyPrefetcherAccess(const Request &req, bool hit);
+
+    CacheParams cfg;
+    MemoryDevice *lower;
+    const Cycle *clock;
+
+    std::vector<Block> blocks;
+    std::unique_ptr<ReplacementPolicy> repl;
+
+    std::deque<Request> readQ;
+    std::deque<Request> writeQ;
+    std::deque<Request> prefetchQ;
+
+    std::unordered_map<Addr, MshrEntry> mshr;
+
+    std::priority_queue<PendingResponse, std::vector<PendingResponse>,
+                        std::greater<>> responses;
+    uint64_t responseSeq = 0;
+
+    Prefetcher *pf = nullptr;
+    VirtualMemory *vmem = nullptr;
+
+    CacheStats stat;
+};
+
+} // namespace gaze
+
+#endif // GAZE_SIM_CACHE_HH

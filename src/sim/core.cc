@@ -1,0 +1,168 @@
+#include "sim/core.hh"
+
+#include "common/log.hh"
+#include "sim/vmem.hh"
+
+namespace gaze
+{
+
+Core::Core(const CoreParams &params, uint32_t cpu_id, MemoryDevice *l1,
+           VirtualMemory *vm, const Cycle *clock_ptr)
+    : cfg(params), cpu(cpu_id), l1d(l1), vmem(vm), clock(clock_ptr)
+{
+    GAZE_ASSERT(l1d && vmem && clock, "core wiring incomplete");
+}
+
+void
+Core::setTrace(TraceSource *t)
+{
+    trace = t;
+}
+
+void
+Core::recvFill(const Request &req)
+{
+    if (req.token & storeTokenBit) {
+        GAZE_ASSERT(sqOccupancy > 0, "store completion underflow");
+        --sqOccupancy;
+        return;
+    }
+    if (rob.empty())
+        return;
+    uint64_t id = req.token;
+    uint64_t head = rob.front().id;
+    if (id < head)
+        return; // already retired (cannot happen for loads, but be safe)
+    size_t idx = id - head;
+    GAZE_ASSERT(idx < rob.size(), "fill for unknown instruction");
+    RobEntry &e = rob[idx];
+    GAZE_ASSERT((e.op == TraceOp::Load
+                 || e.op == TraceOp::DependentLoad) && e.issued,
+                "bogus load fill");
+    if (!e.done) {
+        e.done = true;
+        GAZE_ASSERT(lqOccupancy > 0, "LQ underflow");
+        --lqOccupancy;
+    }
+}
+
+void
+Core::retire()
+{
+    for (uint32_t n = 0; n < cfg.retireWidth && !rob.empty(); ++n) {
+        RobEntry &head = rob.front();
+        if (head.op == TraceOp::Store) {
+            // Stores retire by firing their RFO; they occupy an SQ
+            // slot until the line arrives (write is post-commit).
+            if (sqOccupancy >= cfg.sqSize)
+                break;
+            Request r;
+            r.type = AccessType::Rfo;
+            r.vaddr = head.vaddr;
+            r.paddr = vmem->translate(head.vaddr, cpu);
+            r.pc = head.pc;
+            r.cpu = cpu;
+            r.fillLevel = levelL1;
+            r.requester = this;
+            r.token = storeTokenBit | head.id;
+            r.issueCycle = now();
+            if (!l1d->sendRequest(r))
+                break;
+            ++sqOccupancy;
+            ++stat.stores;
+        } else if (!head.done) {
+            break;
+        } else if (head.op == TraceOp::Load
+                   || head.op == TraceOp::DependentLoad) {
+            ++stat.loads;
+        }
+        rob.pop_front();
+        ++retiredCount;
+        ++stat.instructions;
+    }
+}
+
+void
+Core::issueLoads()
+{
+    uint32_t issued = 0;
+    while (issued < cfg.loadPorts && !pendingLoadOffsets.empty()) {
+        if (lqOccupancy >= cfg.lqSize)
+            return;
+        uint64_t id = pendingLoadOffsets.front();
+        GAZE_ASSERT(!rob.empty() && id >= rob.front().id,
+                    "pending load fell out of the ROB");
+        RobEntry &e = rob[id - rob.front().id];
+        // Dependent loads model pointer chasing: the next hop's address
+        // comes from the previous load, so it cannot issue while any
+        // load is outstanding.
+        if (e.op == TraceOp::DependentLoad && lqOccupancy > 0)
+            return;
+
+        Request r;
+        r.type = AccessType::Load;
+        r.vaddr = e.vaddr;
+        r.paddr = vmem->translate(e.vaddr, cpu);
+        r.pc = e.pc;
+        r.cpu = cpu;
+        r.fillLevel = levelL1;
+        r.requester = this;
+        r.token = e.id;
+        r.issueCycle = now();
+        if (!l1d->sendRequest(r))
+            return; // L1D read queue full; retry next cycle
+        e.issued = true;
+        ++lqOccupancy;
+        pendingLoadOffsets.pop_front();
+        ++issued;
+    }
+}
+
+void
+Core::dispatch()
+{
+    if (!trace)
+        return;
+    if (now() < frontendStallUntil) {
+        ++stat.frontendStallCycles;
+        return;
+    }
+    for (uint32_t n = 0; n < cfg.fetchWidth; ++n) {
+        if (rob.size() >= cfg.robSize) {
+            ++stat.robFullCycles;
+            return;
+        }
+        TraceRecord rec;
+        if (!trace->next(rec)) {
+            trace->reset();
+            ++stat.traceReplays;
+            if (!trace->next(rec))
+                return; // empty trace
+        }
+        if (rec.op == TraceOp::Stall) {
+            frontendStallUntil = now() + rec.stallCycles;
+            return;
+        }
+        RobEntry e;
+        e.id = nextInstrId++;
+        e.op = rec.op;
+        e.vaddr = rec.vaddr;
+        e.pc = rec.pc;
+        bool is_load = rec.op == TraceOp::Load
+                       || rec.op == TraceOp::DependentLoad;
+        e.done = !is_load;
+        rob.push_back(e);
+        if (is_load)
+            pendingLoadOffsets.push_back(e.id);
+    }
+}
+
+void
+Core::tick()
+{
+    retire();
+    issueLoads();
+    dispatch();
+}
+
+} // namespace gaze

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Simplified out-of-order core: a ROB-windowed trace executor with
+ * bounded load/store queues. Non-memory instructions retire at full
+ * width; loads block retirement at the ROB head until their data
+ * returns, so memory-level parallelism is limited by the ROB window,
+ * the LQ, and the L1D's MSHRs — the properties a prefetching study
+ * needs from the core (Table II: 4-wide, 352-entry ROB, 128/72 LQ/SQ).
+ */
+
+#ifndef GAZE_SIM_CORE_HH
+#define GAZE_SIM_CORE_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.hh"
+#include "sim/request.hh"
+#include "sim/trace.hh"
+
+namespace gaze
+{
+
+class VirtualMemory;
+
+/** Core microarchitecture parameters (Table II defaults). */
+struct CoreParams
+{
+    uint32_t fetchWidth = 4;
+    uint32_t retireWidth = 4;
+    uint32_t robSize = 352;
+    uint32_t lqSize = 128;
+    uint32_t sqSize = 72;
+
+    /** Loads the core can present to the L1D per cycle. */
+    uint32_t loadPorts = 2;
+};
+
+/** Retired-instruction / cycle counters. */
+struct CoreStats
+{
+    uint64_t instructions = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t traceReplays = 0;
+    uint64_t robFullCycles = 0;
+    uint64_t frontendStallCycles = 0;
+
+    void reset() { *this = CoreStats{}; }
+};
+
+/** One simulated hardware thread executing a TraceSource. */
+class Core : public FillReceiver
+{
+  public:
+    Core(const CoreParams &params, uint32_t cpu_id,
+         MemoryDevice *l1d, VirtualMemory *vmem, const Cycle *clock);
+
+    /** Bind the instruction trace (required before ticking). */
+    void setTrace(TraceSource *trace);
+
+    /** Advance one cycle: retire, issue, dispatch. */
+    void tick();
+
+    // FillReceiver: load/store completions from the L1D.
+    void recvFill(const Request &req) override;
+
+    /** Total retired instructions since construction. */
+    uint64_t retired() const { return retiredCount; }
+
+    const CoreStats &stats() const { return stat; }
+    void resetStats() { stat.reset(); }
+
+    uint32_t cpuId() const { return cpu; }
+
+    /** Outstanding-load count (tests). */
+    uint32_t outstandingLoads() const { return lqOccupancy; }
+
+  private:
+    struct RobEntry
+    {
+        uint64_t id;
+        TraceOp op;
+        Addr vaddr;
+        PC pc;
+        bool issued = false;
+        bool done = false;
+    };
+
+    static constexpr uint64_t storeTokenBit = 1ULL << 63;
+
+    void retire();
+    void issueLoads();
+    void dispatch();
+
+    Cycle now() const { return *clock; }
+
+    CoreParams cfg;
+    uint32_t cpu;
+    MemoryDevice *l1d;
+    VirtualMemory *vmem;
+    const Cycle *clock;
+    TraceSource *trace = nullptr;
+
+    std::deque<RobEntry> rob;
+    std::deque<size_t> pendingLoadOffsets; ///< ROB ids awaiting issue
+    uint64_t nextInstrId = 0;
+
+    uint32_t lqOccupancy = 0;
+    uint32_t sqOccupancy = 0;
+    Cycle frontendStallUntil = 0;
+
+    uint64_t retiredCount = 0;
+    CoreStats stat;
+};
+
+} // namespace gaze
+
+#endif // GAZE_SIM_CORE_HH

@@ -1,0 +1,251 @@
+#include "sim/dram.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace gaze
+{
+
+DramParams
+DramParams::forCores(uint32_t cores)
+{
+    // Table II: 1C single channel 1 rank; 2C dual channel 1 rank;
+    // 4C dual channel 2 ranks; 8C quad channel 2 ranks.
+    DramParams p;
+    if (cores <= 1) {
+        p.channels = 1;
+        p.ranksPerChannel = 1;
+    } else if (cores <= 2) {
+        p.channels = 2;
+        p.ranksPerChannel = 1;
+    } else if (cores <= 4) {
+        p.channels = 2;
+        p.ranksPerChannel = 2;
+    } else {
+        p.channels = 4;
+        p.ranksPerChannel = 2;
+    }
+    return p;
+}
+
+Dram::Dram(const DramParams &params, const Cycle *clock_ptr)
+    : cfg(params), clock(clock_ptr), channels(params.channels)
+{
+    GAZE_ASSERT(clock != nullptr, "dram needs a clock");
+    banksPerChannel = cfg.ranksPerChannel * cfg.banksPerRank;
+    blocksPerRow = cfg.rowBufferBytes / blockSize;
+    for (auto &ch : channels)
+        ch.banks.assign(banksPerChannel, Bank{});
+
+    auto ns_to_cycles = [&](double ns) {
+        return static_cast<Cycle>(std::ceil(ns * cfg.cpuGhz));
+    };
+    tRp = ns_to_cycles(cfg.tRpNs);
+    tRcd = ns_to_cycles(cfg.tRcdNs);
+    tCas = ns_to_cycles(cfg.tCasNs);
+
+    // One 64B line = blockSize*8/busWidth transfers; each transfer takes
+    // cpuGhz*1e3/mtps cycles.
+    double transfers = double(blockSize) * 8.0 / cfg.busWidthBits;
+    burst = static_cast<Cycle>(
+        std::ceil(transfers * cfg.cpuGhz * 1000.0 / cfg.mtps));
+    GAZE_ASSERT(burst >= 1, "degenerate burst length");
+}
+
+Dram::Decoded
+Dram::decode(Addr paddr) const
+{
+    uint64_t block = blockNumber(paddr);
+    Decoded d;
+    d.channel = static_cast<uint32_t>(block % cfg.channels);
+    block /= cfg.channels;
+    d.bank = static_cast<uint32_t>(block % banksPerChannel);
+    block /= banksPerChannel;
+    // Consecutive blocks in the same bank share a row buffer.
+    d.row = block / blocksPerRow;
+    return d;
+}
+
+bool
+Dram::sendRequest(const Request &req)
+{
+    Decoded d = decode(req.paddr);
+    Channel &ch = channels[d.channel];
+
+    QueuedRequest q;
+    q.req = req;
+    q.enqueue = now();
+    q.row = d.row;
+    q.bank = d.bank;
+
+    if (req.type == AccessType::Writeback) {
+        // Writes are sunk unconditionally; drain mode keeps occupancy
+        // bounded in practice (see Cache::sendRequest rationale).
+        ch.wq.push_back(q);
+        return true;
+    }
+    if (ch.rq.size() >= cfg.rqSize)
+        return false;
+    ch.rq.push_back(q);
+    return true;
+}
+
+Dram::Pick
+Dram::scanQueue(const Channel &ch, const std::deque<QueuedRequest> &q,
+                bool demands_only) const
+{
+    Pick p{q.size(), q.size()};
+    for (size_t i = 0; i < q.size(); ++i) {
+        const QueuedRequest &r = q[i];
+        if (demands_only && r.req.type == AccessType::Prefetch)
+            continue;
+        const Bank &b = ch.banks[r.bank];
+        if (b.ready > now())
+            continue;
+        if (p.oldest == q.size())
+            p.oldest = i; // queue order == age order
+        if (p.rowHit == q.size() && b.openRow == int64_t(r.row)) {
+            p.rowHit = i;
+            if (p.oldest != q.size())
+                break; // both found
+        }
+    }
+    return p;
+}
+
+size_t
+Dram::choose(Channel &ch, const Pick &p, size_t none) const
+{
+    if (p.rowHit == none || p.rowHit == p.oldest) {
+        ch.rowHitBypasses = 0;
+        return p.oldest;
+    }
+    if (ch.rowHitBypasses < rowHitBypassLimit) {
+        ++ch.rowHitBypasses;
+        return p.rowHit;
+    }
+    ch.rowHitBypasses = 0;
+    return p.oldest;
+}
+
+void
+Dram::serviceChannel(Channel &ch)
+{
+    // Hysteretic write drain: start when the WQ is nearly full (or
+    // reads are absent), stop when drained low.
+    if (!ch.draining &&
+        (ch.wq.size() >= cfg.wqDrainHigh || (ch.rq.empty() && !ch.wq.empty())))
+        ch.draining = true;
+    if (ch.draining && (ch.wq.size() <= cfg.wqDrainLow ||
+                        (ch.wq.empty())))
+        ch.draining = false;
+
+    bool do_write = ch.draining && !ch.wq.empty();
+    std::deque<QueuedRequest> &q = do_write ? ch.wq : ch.rq;
+    if (q.empty())
+        return;
+
+    // One command per cycle per channel; bank-level parallelism is
+    // implicit (each command occupies only its own bank), and the
+    // shared data bus serializes transfers via the busFree high-water
+    // mark. The issue horizon must exceed the worst-case bank access
+    // (precharge+activate+CAS) or a single row miss on an idle bus
+    // would stall command issue for the whole access latency; beyond
+    // that, allow a few bursts of transfer pipelining.
+    Cycle horizon = tRp + tRcd + tCas + 4 * burst;
+    if (ch.busFree > now() + horizon)
+        return;
+
+    // Demand reads outrank prefetch reads (memory controllers treat
+    // speculative traffic as low priority); within each class,
+    // FR-FCFS with the reorder bound applies.
+    size_t idx = q.size();
+    if (!do_write) {
+        idx = choose(ch, scanQueue(ch, q, /*demands_only=*/true),
+                     q.size());
+        if (idx == q.size())
+            idx = choose(ch, scanQueue(ch, q, /*demands_only=*/false),
+                         q.size());
+    } else {
+        idx = choose(ch, scanQueue(ch, q, /*demands_only=*/false),
+                     q.size());
+    }
+    if (idx == q.size())
+        return;
+
+    QueuedRequest r = q[idx];
+    q.erase(q.begin() + idx);
+
+    Bank &bank = ch.banks[r.bank];
+    Cycle start = std::max(now(), bank.ready);
+    Cycle access;
+    if (bank.openRow == int64_t(r.row)) {
+        access = tCas;
+        ++stat.rowHits;
+    } else if (bank.openRow < 0) {
+        access = tRcd + tCas;
+        ++stat.rowMisses;
+    } else {
+        access = tRp + tRcd + tCas;
+        ++stat.rowMisses;
+    }
+    Cycle data_start = std::max(start + access, ch.busFree);
+    Cycle data_end = data_start + burst;
+
+    bank.openRow = int64_t(r.row);
+    bank.ready = data_end;
+    ch.busFree = data_end;
+
+    stat.busBusyCycles += burst;
+    epochBusy += burst;
+
+    if (do_write) {
+        ++stat.writes;
+        return; // no response for writes
+    }
+
+    ++stat.reads;
+    stat.readLatencySum += data_end - r.enqueue;
+    completions.push(Completion{data_end, completionSeq++, r.req});
+}
+
+void
+Dram::tick()
+{
+    while (!completions.empty() && completions.top().ready <= now()) {
+        Request r = completions.top().req;
+        completions.pop();
+        if (r.requester)
+            r.requester->recvFill(r);
+    }
+
+    for (auto &ch : channels)
+        serviceChannel(ch);
+
+    if (now() - epochStart >= epochLength) {
+        // Utilization is per-channel-normalized so 1.0 means every data
+        // bus was busy every cycle of the epoch.
+        double denom = double(epochLength) * cfg.channels;
+        lastEpochUtil = double(epochBusy) / denom;
+        epochBusy = 0;
+        epochStart = now();
+    }
+}
+
+void
+Dram::resetStats()
+{
+    stat.reset();
+}
+
+size_t
+Dram::rqOccupancy() const
+{
+    size_t n = 0;
+    for (const auto &ch : channels)
+        n += ch.rq.size();
+    return n;
+}
+
+} // namespace gaze

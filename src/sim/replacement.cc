@@ -1,0 +1,102 @@
+#include "sim/replacement.hh"
+
+#include "common/log.hh"
+
+namespace gaze
+{
+
+LruPolicy::LruPolicy(uint32_t sets, uint32_t ways)
+    : numWays(ways), stamp(size_t(sets) * ways, 0)
+{
+}
+
+void
+LruPolicy::onHit(uint32_t set, uint32_t way)
+{
+    stamp[size_t(set) * numWays + way] = ++tick;
+}
+
+void
+LruPolicy::onFill(uint32_t set, uint32_t way, bool /*prefetch*/)
+{
+    stamp[size_t(set) * numWays + way] = ++tick;
+}
+
+uint32_t
+LruPolicy::victim(uint32_t set, const std::vector<bool> &valid)
+{
+    uint32_t best = 0;
+    uint64_t best_stamp = ~0ULL;
+    for (uint32_t w = 0; w < numWays; ++w) {
+        if (!valid[w])
+            return w;
+        uint64_t s = stamp[size_t(set) * numWays + w];
+        if (s < best_stamp) {
+            best_stamp = s;
+            best = w;
+        }
+    }
+    return best;
+}
+
+SrripPolicy::SrripPolicy(uint32_t sets, uint32_t ways)
+    : numWays(ways), rrpv(size_t(sets) * ways, maxRrpv)
+{
+}
+
+void
+SrripPolicy::onHit(uint32_t set, uint32_t way)
+{
+    rrpv[size_t(set) * numWays + way] = 0;
+}
+
+void
+SrripPolicy::onFill(uint32_t set, uint32_t way, bool prefetch)
+{
+    // Demand fills: long re-reference (maxRrpv-1). Prefetch fills:
+    // distant (maxRrpv) so useless prefetches leave quickly.
+    rrpv[size_t(set) * numWays + way] = prefetch ? maxRrpv : maxRrpv - 1;
+}
+
+uint32_t
+SrripPolicy::victim(uint32_t set, const std::vector<bool> &valid)
+{
+    for (uint32_t w = 0; w < numWays; ++w)
+        if (!valid[w])
+            return w;
+    while (true) {
+        for (uint32_t w = 0; w < numWays; ++w)
+            if (rrpv[size_t(set) * numWays + w] == maxRrpv)
+                return w;
+        for (uint32_t w = 0; w < numWays; ++w)
+            ++rrpv[size_t(set) * numWays + w];
+    }
+}
+
+RandomPolicy::RandomPolicy(uint32_t /*sets*/, uint32_t ways, uint64_t seed)
+    : numWays(ways), rng(seed)
+{
+}
+
+uint32_t
+RandomPolicy::victim(uint32_t /*set*/, const std::vector<bool> &valid)
+{
+    for (uint32_t w = 0; w < numWays; ++w)
+        if (!valid[w])
+            return w;
+    return static_cast<uint32_t>(rng.below(numWays));
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(const std::string &name, uint32_t sets, uint32_t ways)
+{
+    if (name == "lru")
+        return std::make_unique<LruPolicy>(sets, ways);
+    if (name == "srrip")
+        return std::make_unique<SrripPolicy>(sets, ways);
+    if (name == "random")
+        return std::make_unique<RandomPolicy>(sets, ways);
+    GAZE_FATAL("unknown replacement policy '", name, "'");
+}
+
+} // namespace gaze

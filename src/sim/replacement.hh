@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Cache replacement policies. The paper's configuration uses LRU in all
+ * caches; SRRIP and Random are provided for sensitivity studies and to
+ * exercise the policy interface.
+ */
+
+#ifndef GAZE_SIM_REPLACEMENT_HH
+#define GAZE_SIM_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace gaze
+{
+
+/**
+ * Replacement policy for one cache. The cache reports hits and fills;
+ * the policy picks victims. Way state is kept inside the policy,
+ * indexed by (set * ways + way).
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** A block in (set, way) was hit by a demand or prefetch access. */
+    virtual void onHit(uint32_t set, uint32_t way) = 0;
+
+    /** A block was filled into (set, way). @p prefetch for pf fills. */
+    virtual void onFill(uint32_t set, uint32_t way, bool prefetch) = 0;
+
+    /**
+     * Choose a victim way in @p set. @p valid flags which ways hold
+     * valid blocks; invalid ways must be preferred.
+     */
+    virtual uint32_t victim(uint32_t set, const std::vector<bool> &valid) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** True least-recently-used. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(uint32_t sets, uint32_t ways);
+
+    void onHit(uint32_t set, uint32_t way) override;
+    void onFill(uint32_t set, uint32_t way, bool prefetch) override;
+    uint32_t victim(uint32_t set, const std::vector<bool> &valid) override;
+    std::string name() const override { return "lru"; }
+
+  private:
+    uint32_t numWays;
+    std::vector<uint64_t> stamp;
+    uint64_t tick = 0;
+};
+
+/**
+ * Static RRIP (SRRIP-HP): 2-bit re-reference interval prediction.
+ * Prefetch fills are inserted with a distant prediction, which gives a
+ * little built-in pollution resistance.
+ */
+class SrripPolicy : public ReplacementPolicy
+{
+  public:
+    SrripPolicy(uint32_t sets, uint32_t ways);
+
+    void onHit(uint32_t set, uint32_t way) override;
+    void onFill(uint32_t set, uint32_t way, bool prefetch) override;
+    uint32_t victim(uint32_t set, const std::vector<bool> &valid) override;
+    std::string name() const override { return "srrip"; }
+
+  private:
+    static constexpr uint8_t maxRrpv = 3;
+    uint32_t numWays;
+    std::vector<uint8_t> rrpv;
+};
+
+/** Uniform-random victim selection (deterministic seed). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(uint32_t sets, uint32_t ways, uint64_t seed = 0xdead);
+
+    void onHit(uint32_t /*set*/, uint32_t /*way*/) override {}
+    void onFill(uint32_t /*set*/, uint32_t /*way*/,
+                bool /*prefetch*/) override
+    {
+    }
+    uint32_t victim(uint32_t set, const std::vector<bool> &valid) override;
+    std::string name() const override { return "random"; }
+
+  private:
+    uint32_t numWays;
+    Rng rng;
+};
+
+/** Factory: "lru" | "srrip" | "random". */
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(const std::string &name, uint32_t sets, uint32_t ways);
+
+} // namespace gaze
+
+#endif // GAZE_SIM_REPLACEMENT_HH

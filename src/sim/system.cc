@@ -1,0 +1,193 @@
+#include "sim/system.hh"
+
+#include "common/log.hh"
+
+namespace gaze
+{
+
+System::System(const SystemConfig &config)
+    : cfg(config), vm(34)
+{
+    GAZE_ASSERT(cfg.numCores >= 1 && cfg.numCores <= 64, "bad core count");
+
+    DramParams dp = cfg.dramAuto ? DramParams::forCores(cfg.numCores)
+                                 : cfg.dram;
+    if (cfg.dramAuto) {
+        // Keep any user-tuned timing/bus fields from cfg.dram.
+        dp.mtps = cfg.dram.mtps;
+        dp.cpuGhz = cfg.dram.cpuGhz;
+    }
+    dramCtrl = std::make_unique<Dram>(dp, &clock);
+
+    CacheParams llc_p;
+    llc_p.name = "LLC";
+    llc_p.level = levelLLC;
+    llc_p.ways = cfg.llcWays;
+    llc_p.sets = CacheParams::setsFor(cfg.llcBytesPerCore * cfg.numCores,
+                                      cfg.llcWays);
+    llc_p.latency = cfg.llcLatency;
+    llc_p.mshrs = cfg.llcMshrsPerCore * cfg.numCores;
+    llc_p.rqSize = 64 * cfg.numCores;
+    llc_p.wqSize = 64 * cfg.numCores;
+    llc_p.pqSize = 32 * cfg.numCores;
+    llc_p.replacement = cfg.replacement;
+    llcCache = std::make_unique<Cache>(llc_p, dramCtrl.get(), &clock);
+
+    for (uint32_t c = 0; c < cfg.numCores; ++c) {
+        CacheParams l2_p;
+        l2_p.name = "L2C" + std::to_string(c);
+        l2_p.level = levelL2;
+        l2_p.ways = cfg.l2Ways;
+        l2_p.sets = CacheParams::setsFor(cfg.l2Bytes, cfg.l2Ways);
+        l2_p.latency = cfg.l2Latency;
+        l2_p.mshrs = cfg.l2Mshrs;
+        l2_p.rqSize = 32;
+        l2_p.wqSize = 32;
+        l2_p.pqSize = 16;
+        l2_p.replacement = cfg.replacement;
+        l2s.push_back(std::make_unique<Cache>(l2_p, llcCache.get(),
+                                              &clock));
+
+        CacheParams l1_p;
+        l1_p.name = "L1D" + std::to_string(c);
+        l1_p.level = levelL1;
+        l1_p.ways = cfg.l1dWays;
+        l1_p.sets = CacheParams::setsFor(cfg.l1dBytes, cfg.l1dWays);
+        l1_p.latency = cfg.l1dLatency;
+        l1_p.mshrs = cfg.l1dMshrs;
+        l1_p.rqSize = 64;
+        l1_p.wqSize = 64;
+        l1_p.pqSize = 8;
+        l1_p.replacement = cfg.replacement;
+        l1ds.push_back(std::make_unique<Cache>(l1_p, l2s.back().get(),
+                                               &clock));
+
+        cores.push_back(std::make_unique<Core>(cfg.core, c,
+                                               l1ds.back().get(), &vm,
+                                               &clock));
+    }
+}
+
+System::~System() = default;
+
+void
+System::setTrace(uint32_t cpu, TraceSource *trace)
+{
+    GAZE_ASSERT(cpu < cfg.numCores, "cpu out of range");
+    cores[cpu]->setTrace(trace);
+}
+
+void
+System::setL1Prefetcher(uint32_t cpu, std::unique_ptr<Prefetcher> pf)
+{
+    GAZE_ASSERT(cpu < cfg.numCores, "cpu out of range");
+    if (!pf)
+        return;
+    l1ds[cpu]->setPrefetcher(pf.get(), &vm, dramCtrl.get(), cpu);
+    ownedPrefetchers.push_back(std::move(pf));
+}
+
+void
+System::setL2Prefetcher(uint32_t cpu, std::unique_ptr<Prefetcher> pf)
+{
+    GAZE_ASSERT(cpu < cfg.numCores, "cpu out of range");
+    if (!pf)
+        return;
+    l2s[cpu]->setPrefetcher(pf.get(), &vm, dramCtrl.get(), cpu);
+    ownedPrefetchers.push_back(std::move(pf));
+}
+
+void
+System::tickAll()
+{
+    for (auto &c : cores)
+        c->tick();
+    for (auto &c : l1ds)
+        c->tick();
+    for (auto &c : l2s)
+        c->tick();
+    llcCache->tick();
+    dramCtrl->tick();
+    ++clock;
+}
+
+void
+System::run(uint64_t instr_per_core)
+{
+    std::vector<uint64_t> target(cfg.numCores);
+    for (uint32_t c = 0; c < cfg.numCores; ++c)
+        target[c] = cores[c]->retired() + instr_per_core;
+
+    uint64_t cap = clock + instr_per_core * cfg.maxCyclesPerInstr
+                   + 1000000;
+    while (true) {
+        bool all_done = true;
+        for (uint32_t c = 0; c < cfg.numCores; ++c) {
+            if (cores[c]->retired() < target[c]) {
+                all_done = false;
+                break;
+            }
+        }
+        if (all_done)
+            return;
+        if (clock >= cap) {
+            GAZE_WARN("run() hit the cycle cap; simulation wedged?");
+            return;
+        }
+        tickAll();
+    }
+}
+
+void
+System::resetStats()
+{
+    for (auto &c : cores)
+        c->resetStats();
+    for (auto &c : l1ds)
+        c->resetStats();
+    for (auto &c : l2s)
+        c->resetStats();
+    llcCache->resetStats();
+    dramCtrl->resetStats();
+}
+
+std::vector<CoreResult>
+System::simulate(uint64_t instr_per_core)
+{
+    std::vector<uint64_t> base(cfg.numCores);
+    std::vector<CoreResult> out(cfg.numCores);
+    std::vector<bool> finished(cfg.numCores, false);
+    Cycle start = clock;
+
+    for (uint32_t c = 0; c < cfg.numCores; ++c)
+        base[c] = cores[c]->retired();
+
+    uint64_t cap = clock + instr_per_core * cfg.maxCyclesPerInstr
+                   + 1000000;
+    uint32_t remaining = cfg.numCores;
+    while (remaining > 0 && clock < cap) {
+        tickAll();
+        for (uint32_t c = 0; c < cfg.numCores; ++c) {
+            if (finished[c])
+                continue;
+            if (cores[c]->retired() - base[c] >= instr_per_core) {
+                finished[c] = true;
+                out[c].instructions = cores[c]->retired() - base[c];
+                out[c].cycles = clock - start;
+                --remaining;
+            }
+        }
+    }
+    if (remaining > 0)
+        GAZE_WARN("simulate() hit the cycle cap with ", remaining,
+                  " cores unfinished");
+    for (uint32_t c = 0; c < cfg.numCores; ++c) {
+        if (!finished[c]) {
+            out[c].instructions = cores[c]->retired() - base[c];
+            out[c].cycles = clock - start;
+        }
+    }
+    return out;
+}
+
+} // namespace gaze

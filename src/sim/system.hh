@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Whole-system builder and run loop: N cores with private L1D/L2C, a
+ * shared LLC, one DRAM controller, functional virtual memory, and
+ * prefetchers attachable at L1D and L2C (the paper's single-level and
+ * multi-level configurations).
+ */
+
+#ifndef GAZE_SIM_SYSTEM_HH
+#define GAZE_SIM_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cache.hh"
+#include "sim/core.hh"
+#include "sim/dram.hh"
+#include "sim/prefetcher.hh"
+#include "sim/trace.hh"
+#include "sim/vmem.hh"
+
+namespace gaze
+{
+
+/** Full-system configuration (Table II defaults). */
+struct SystemConfig
+{
+    uint32_t numCores = 1;
+
+    CoreParams core;
+
+    uint64_t l1dBytes = 48 * 1024;
+    uint32_t l1dWays = 12;
+    uint32_t l1dLatency = 5;
+    uint32_t l1dMshrs = 16;
+
+    uint64_t l2Bytes = 512 * 1024;
+    uint32_t l2Ways = 8;
+    uint32_t l2Latency = 10;
+    uint32_t l2Mshrs = 32;
+
+    uint64_t llcBytesPerCore = 2 * 1024 * 1024;
+    uint32_t llcWays = 16;
+    uint32_t llcLatency = 20;
+    uint32_t llcMshrsPerCore = 64;
+
+    std::string replacement = "lru";
+
+    /**
+     * When true (default) the DRAM channel/rank count follows the
+     * paper's per-core-count scaling; otherwise @p dram is used as-is.
+     */
+    bool dramAuto = true;
+    DramParams dram;
+
+    /** Safety valve: abort a run after this many cycles per instr. */
+    uint64_t maxCyclesPerInstr = 2000;
+};
+
+/** Per-core outcome of a measured simulation interval. */
+struct CoreResult
+{
+    uint64_t instructions = 0;
+    uint64_t cycles = 0; ///< cycles this core took to retire them
+
+    double
+    ipc() const
+    {
+        return cycles ? double(instructions) / cycles : 0.0;
+    }
+};
+
+/** One simulated machine. Construct, attach traces/prefetchers, run. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &config);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Attach the instruction trace for @p cpu (not owned). */
+    void setTrace(uint32_t cpu, TraceSource *trace);
+
+    /** Attach (and own) an L1D prefetcher for @p cpu. */
+    void setL1Prefetcher(uint32_t cpu, std::unique_ptr<Prefetcher> pf);
+
+    /** Attach (and own) an L2C prefetcher for @p cpu. */
+    void setL2Prefetcher(uint32_t cpu, std::unique_ptr<Prefetcher> pf);
+
+    /**
+     * Run until every core has retired @p instr_per_core more
+     * instructions; prefetchers keep training. Used for warmup.
+     */
+    void run(uint64_t instr_per_core);
+
+    /** Zero all statistics (end of warmup). */
+    void resetStats();
+
+    /**
+     * Measured run: like run(), but records the cycle at which each
+     * core individually reaches its instruction target, which is what
+     * per-core IPC is computed from (early finishers keep replaying,
+     * as in the paper).
+     */
+    std::vector<CoreResult> simulate(uint64_t instr_per_core);
+
+    uint32_t numCores() const { return cfg.numCores; }
+    Cycle cycle() const { return clock; }
+
+    Core &core(uint32_t cpu) { return *cores[cpu]; }
+    Cache &l1d(uint32_t cpu) { return *l1ds[cpu]; }
+    Cache &l2(uint32_t cpu) { return *l2s[cpu]; }
+    Cache &llc() { return *llcCache; }
+    Dram &dram() { return *dramCtrl; }
+    VirtualMemory &vmem() { return vm; }
+
+    const SystemConfig &config() const { return cfg; }
+
+  private:
+    void tickAll();
+
+    SystemConfig cfg;
+    Cycle clock = 0;
+
+    VirtualMemory vm;
+    std::unique_ptr<Dram> dramCtrl;
+    std::unique_ptr<Cache> llcCache;
+    std::vector<std::unique_ptr<Cache>> l2s;
+    std::vector<std::unique_ptr<Cache>> l1ds;
+    std::vector<std::unique_ptr<Core>> cores;
+    std::vector<std::unique_ptr<Prefetcher>> ownedPrefetchers;
+};
+
+} // namespace gaze
+
+#endif // GAZE_SIM_SYSTEM_HH

@@ -1,0 +1,32 @@
+#include "sim/vmem.hh"
+
+#include "common/log.hh"
+
+namespace gaze
+{
+
+VirtualMemory::VirtualMemory(uint32_t physical_bits)
+{
+    GAZE_ASSERT(physical_bits > pageShift && physical_bits <= 48,
+                "bad physical address width");
+    ppageMask = (1ULL << (physical_bits - pageShift)) - 1;
+}
+
+Addr
+VirtualMemory::pagePPN(Addr vpage, uint32_t cpu) const
+{
+    // Distinct cores get disjoint streams: mix the core id into the
+    // hash so homogeneous multi-core mixes do not alias in the LLC.
+    uint64_t h = mix64(vpage * 0x9e3779b97f4a7c15ULL + cpu + 1);
+    return h & ppageMask;
+}
+
+Addr
+VirtualMemory::translate(Addr vaddr, uint32_t cpu) const
+{
+    Addr vpage = pageNumber(vaddr);
+    Addr offset = vaddr & (pageSize - 1);
+    return (pagePPN(vpage, cpu) << pageShift) | offset;
+}
+
+} // namespace gaze

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Synthetic graph workloads standing in for the Ligra and GAP traces.
+ *
+ * A deterministic power-law graph is materialized in CSR form at
+ * virtual addresses, and the trace generators walk it the way the real
+ * frameworks do:
+ *
+ *  - the offsets / frontier arrays are read sequentially (dense
+ *    streaming regions, the §III-C motivating pattern);
+ *  - neighbor lists are short sequential bursts at irregular starts;
+ *  - per-vertex property reads (ranks, parents) are data-dependent
+ *    irregular accesses to hot (power-law) vertices.
+ *
+ * Two phases per algorithm mirror the paper's Fig. 10 split: an
+ * `init` phase (data preparation, almost pure streaming) and a
+ * `compute` phase (interleaved streaming + irregular).
+ */
+
+#ifndef GAZE_WORKLOADS_GRAPH_HH
+#define GAZE_WORKLOADS_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/trace.hh"
+
+namespace gaze
+{
+
+/** CSR graph materialized at fixed virtual addresses. */
+struct SyntheticGraph
+{
+    uint64_t numVertices = 0;
+    std::vector<uint64_t> rowStart; ///< CSR offsets (numVertices + 1)
+    std::vector<uint32_t> neighbors;
+
+    Addr offsetsBase = 0;   ///< vaddr of the CSR offsets array
+    Addr neighborsBase = 0; ///< vaddr of the neighbor array
+    Addr propertyBase = 0;  ///< vaddr of the per-vertex property array
+    Addr frontierBase = 0;  ///< vaddr of frontier scratch space
+};
+
+/** Build a deterministic power-law graph. */
+SyntheticGraph makeGraph(uint64_t vertices, double avg_degree,
+                         uint64_t seed);
+
+struct GraphTraceParams
+{
+    uint64_t seed = 1;
+    uint64_t records = 1'000'000;
+    uint64_t vertices = 1 << 18;
+    double avgDegree = 8.0;
+    uint32_t gapNonMem = 2;
+};
+
+/** PageRank-like: sequential vertex sweep + irregular rank gathers. */
+VectorTrace genPageRank(const GraphTraceParams &p, bool init_phase);
+
+/** BFS-like: frontier streaming + neighbor bursts + parent checks. */
+VectorTrace genBfs(const GraphTraceParams &p, bool init_phase);
+
+/** Triangle-counting-like: two-level neighbor intersection reads. */
+VectorTrace genTriangle(const GraphTraceParams &p);
+
+} // namespace gaze
+
+#endif // GAZE_WORKLOADS_GRAPH_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The workload suite registry: named synthetic traces standing in for
+ * the paper's SPEC06 / SPEC17 / Ligra / PARSEC / CloudSuite / GAP /
+ * QMM trace sets (see DESIGN.md for the substitution rationale). Each
+ * entry knows how to (re)generate its trace deterministically.
+ *
+ * Trace lengths honor the GAZE_SIM_SCALE environment variable so the
+ * benches can be scaled up or down without recompiling.
+ */
+
+#ifndef GAZE_WORKLOADS_SUITES_HH
+#define GAZE_WORKLOADS_SUITES_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hh"
+
+namespace gaze
+{
+
+/** A named workload belonging to a suite. */
+struct WorkloadDef
+{
+    std::string name;  ///< e.g. "fotonik3d_s"
+    std::string suite; ///< "spec06" | "spec17" | "ligra" | "parsec"
+                       ///< | "cloud" | "gap" | "qmm_server" | "qmm_client"
+    std::function<VectorTrace()> make;
+};
+
+/** Global simulation scale from GAZE_SIM_SCALE (default 1.0). */
+double simScale();
+
+/** Baseline record count for one trace, after scaling. */
+uint64_t scaledRecords(uint64_t base = 600'000);
+
+/** Every registered workload. */
+const std::vector<WorkloadDef> &allWorkloads();
+
+/** Workloads of one suite ("qmm" matches both server and client). */
+std::vector<WorkloadDef> suiteWorkloads(const std::string &suite);
+
+/** Find a workload by exact name (fatal if missing). */
+const WorkloadDef &findWorkload(const std::string &name);
+
+/** The five main-evaluation suites of Fig. 6-8. */
+const std::vector<std::string> &mainSuites();
+
+} // namespace gaze
+
+#endif // GAZE_WORKLOADS_SUITES_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the dynamic footprint bitset.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitset.hh"
+
+namespace gaze
+{
+namespace
+{
+
+TEST(Bitset, StartsEmpty)
+{
+    Bitset b(64);
+    EXPECT_EQ(b.size(), 64u);
+    EXPECT_EQ(b.count(), 0u);
+    EXPECT_TRUE(b.none());
+    EXPECT_FALSE(b.any());
+    EXPECT_FALSE(b.all());
+}
+
+TEST(Bitset, SetTestReset)
+{
+    Bitset b(64);
+    b.set(0);
+    b.set(63);
+    EXPECT_TRUE(b.test(0));
+    EXPECT_TRUE(b.test(63));
+    EXPECT_FALSE(b.test(32));
+    EXPECT_EQ(b.count(), 2u);
+    b.reset(0);
+    EXPECT_FALSE(b.test(0));
+    EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(Bitset, AllAndSetAll)
+{
+    Bitset b(64);
+    b.setAll();
+    EXPECT_TRUE(b.all());
+    EXPECT_EQ(b.count(), 64u);
+    b.clearAll();
+    EXPECT_TRUE(b.none());
+}
+
+TEST(Bitset, NonWordSizes)
+{
+    // Region sizes between 0.5KB and 64KB give 8..1024 bits.
+    for (size_t bits : {8u, 32u, 100u, 128u, 1024u}) {
+        Bitset b(bits);
+        EXPECT_EQ(b.size(), bits);
+        b.setAll();
+        EXPECT_TRUE(b.all()) << bits;
+        EXPECT_EQ(b.count(), bits);
+        b.reset(bits - 1);
+        EXPECT_FALSE(b.all());
+        EXPECT_EQ(b.count(), bits - 1);
+    }
+}
+
+TEST(Bitset, LeadingRun)
+{
+    Bitset b(128);
+    EXPECT_EQ(b.leadingRun(), 0u);
+    b.set(1); // bit 0 clear: no run
+    EXPECT_EQ(b.leadingRun(), 0u);
+    b.set(0);
+    EXPECT_EQ(b.leadingRun(), 2u);
+    for (size_t i = 0; i < 70; ++i)
+        b.set(i); // run crosses the word boundary
+    EXPECT_EQ(b.leadingRun(), 70u);
+    b.reset(64);
+    EXPECT_EQ(b.leadingRun(), 64u);
+    b.setAll();
+    EXPECT_EQ(b.leadingRun(), 128u);
+}
+
+TEST(Bitset, LeadingRunFullSmallSet)
+{
+    Bitset b(8);
+    b.setAll();
+    EXPECT_EQ(b.leadingRun(), 8u);
+}
+
+TEST(Bitset, FindFirstNext)
+{
+    Bitset b(128);
+    EXPECT_EQ(b.findFirst(), 128u);
+    b.set(5);
+    b.set(70);
+    b.set(127);
+    EXPECT_EQ(b.findFirst(), 5u);
+    EXPECT_EQ(b.findNext(6), 70u);
+    EXPECT_EQ(b.findNext(71), 127u);
+    EXPECT_EQ(b.findNext(128), 128u);
+}
+
+TEST(Bitset, IterationVisitsExactlySetBits)
+{
+    Bitset b(256);
+    std::vector<size_t> want = {0, 1, 63, 64, 65, 200, 255};
+    for (size_t i : want)
+        b.set(i);
+    std::vector<size_t> got;
+    for (size_t i = b.findFirst(); i < b.size(); i = b.findNext(i + 1))
+        got.push_back(i);
+    EXPECT_EQ(got, want);
+}
+
+TEST(Bitset, UnionIntersection)
+{
+    Bitset a(64), b(64);
+    a.set(1);
+    a.set(2);
+    b.set(2);
+    b.set(3);
+    Bitset u = a | b;
+    Bitset i = a & b;
+    EXPECT_EQ(u.count(), 3u);
+    EXPECT_EQ(i.count(), 1u);
+    EXPECT_TRUE(i.test(2));
+}
+
+TEST(Bitset, EqualityAndDensity)
+{
+    Bitset a(64), b(64);
+    EXPECT_EQ(a, b);
+    a.set(10);
+    EXPECT_NE(a, b);
+    b.set(10);
+    EXPECT_EQ(a, b);
+    EXPECT_DOUBLE_EQ(a.density(), 1.0 / 64.0);
+}
+
+TEST(BitsetDeath, OutOfRangePanics)
+{
+    Bitset b(64);
+    EXPECT_DEATH(b.set(64), "out of range");
+    EXPECT_DEATH(b.test(1000), "out of range");
+}
+
+} // namespace
+} // namespace gaze

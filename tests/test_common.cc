@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for the small common pieces: address helpers, saturating
+ * counters (including the paper's Dense Counter update rules), and the
+ * deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/sat_counter.hh"
+#include "common/types.hh"
+
+namespace gaze
+{
+namespace
+{
+
+// ---------------------------------------------------------------- types
+
+TEST(Types, BlockHelpers)
+{
+    EXPECT_EQ(blockAlign(0x1234), 0x1200u);
+    EXPECT_EQ(blockNumber(0x1234), 0x48u);
+    EXPECT_EQ(pageNumber(0x1234), 1u);
+    EXPECT_EQ(pageAlign(0x1234), 0x1000u);
+}
+
+TEST(Types, RegionOffsetDefault4K)
+{
+    // Offset is the 6-bit block index within the page.
+    EXPECT_EQ(regionOffset(0x0000), 0u);
+    EXPECT_EQ(regionOffset(0x0040), 1u);
+    EXPECT_EQ(regionOffset(0x0fff), 63u);
+    EXPECT_EQ(regionOffset(0x1000), 0u);
+}
+
+TEST(Types, RegionOffsetOtherSizes)
+{
+    // 2KB regions have 32 offsets; 64KB regions have 1024.
+    EXPECT_EQ(regionOffset(0x7c0, 2048), 31u);
+    EXPECT_EQ(regionOffset(0x800, 2048), 0u);
+    EXPECT_EQ(regionOffset(0xffc0, 65536), 1023u);
+}
+
+TEST(Types, RegionNumberAndBase)
+{
+    EXPECT_EQ(regionNumber(0x2fff, 4096), 2u);
+    EXPECT_EQ(regionBase(0x2fff, 4096), 0x2000u);
+    EXPECT_EQ(regionNumber(0x2fff, 2048), 5u);
+}
+
+TEST(Types, BlocksPerRegion)
+{
+    EXPECT_EQ(blocksPerRegion(512), 8u);
+    EXPECT_EQ(blocksPerRegion(4096), 64u);
+    EXPECT_EQ(blocksPerRegion(65536), 1024u);
+}
+
+TEST(Types, PowerOfTwoAndLog2)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(4096));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(24));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+}
+
+TEST(Types, HashPcIsStableAndBounded)
+{
+    uint64_t h1 = hashPC(0x400100, 12);
+    uint64_t h2 = hashPC(0x400100, 12);
+    EXPECT_EQ(h1, h2);
+    EXPECT_LT(h1, 1u << 12);
+    // Different PCs should (almost always) hash differently.
+    EXPECT_NE(hashPC(0x400100, 12), hashPC(0x400104, 12));
+}
+
+// --------------------------------------------------------- sat counters
+
+TEST(SatCounter, SaturatesBothEnds)
+{
+    SatCounter c(3, 0);
+    c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, HalveAndAssign)
+{
+    SatCounter c(31, 0);
+    c.assign(20);
+    c.halve();
+    EXPECT_EQ(c.value(), 10u);
+    c.assign(99);
+    EXPECT_EQ(c.value(), 31u); // clamped
+    c.clear();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(DenseCounter, PaperUpdateRules)
+{
+    DenseCounter dc;
+    EXPECT_EQ(dc.value(), 0u);
+    EXPECT_FALSE(dc.aboveHalf());
+
+    // Slow increment: +1 per dense region, saturating at 7.
+    for (int i = 0; i < 10; ++i)
+        dc.onDense();
+    EXPECT_EQ(dc.value(), 7u);
+    EXPECT_TRUE(dc.full());
+    EXPECT_TRUE(dc.aboveHalf());
+
+    // Above the half threshold, a sparse region halves (fast path).
+    dc.onSparse();
+    EXPECT_EQ(dc.value(), 3u);
+    dc.onSparse();
+    EXPECT_EQ(dc.value(), 1u); // 3 > 2 so halve again
+    // At or below the threshold, decrement by one (slow path).
+    dc.onSparse();
+    EXPECT_EQ(dc.value(), 0u);
+    dc.onSparse();
+    EXPECT_EQ(dc.value(), 0u); // floor
+}
+
+TEST(DenseCounter, HalfThresholdBoundary)
+{
+    DenseCounter dc;
+    dc.onDense();
+    dc.onDense();
+    dc.onDense(); // value 3: "DC > 2" holds
+    EXPECT_TRUE(dc.aboveHalf());
+    dc.onSparse(); // halves to 1
+    EXPECT_EQ(dc.value(), 1u);
+    EXPECT_FALSE(dc.aboveHalf());
+}
+
+// ------------------------------------------------------------------ rng
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool differs = false;
+    Rng a2(42);
+    for (int i = 0; i < 100; ++i)
+        differs |= a2.next() != c.next();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowIsBounded)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        uint64_t v = r.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(99);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.uniform();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng r(5);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, SkewedPrefersLowRanks)
+{
+    Rng r(11);
+    uint64_t low = 0, total = 20000;
+    for (uint64_t i = 0; i < total; ++i)
+        low += r.skewed(100, 1.5) < 20;
+    // With skew, rank<20 should be drawn far more than 20% of the time.
+    EXPECT_GT(double(low) / total, 0.4);
+}
+
+} // namespace
+} // namespace gaze

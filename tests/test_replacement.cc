@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Replacement policy tests: LRU recency order, SRRIP insertion and
+ * aging (prefetch fills inserted distant), Random bounds, factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/replacement.hh"
+
+namespace gaze
+{
+namespace
+{
+
+std::vector<bool>
+allValid(uint32_t ways)
+{
+    return std::vector<bool>(ways, true);
+}
+
+TEST(Lru, PrefersInvalidWays)
+{
+    LruPolicy p(2, 4);
+    std::vector<bool> valid = {true, false, true, true};
+    EXPECT_EQ(p.victim(0, valid), 1u);
+}
+
+TEST(Lru, EvictsOldest)
+{
+    LruPolicy p(1, 4);
+    for (uint32_t w = 0; w < 4; ++w)
+        p.onFill(0, w, false);
+    EXPECT_EQ(p.victim(0, allValid(4)), 0u);
+    p.onHit(0, 0);
+    EXPECT_EQ(p.victim(0, allValid(4)), 1u);
+}
+
+TEST(Lru, SetsIndependent)
+{
+    LruPolicy p(2, 2);
+    p.onFill(0, 0, false);
+    p.onFill(0, 1, false);
+    p.onFill(1, 1, false);
+    p.onFill(1, 0, false);
+    EXPECT_EQ(p.victim(0, allValid(2)), 0u);
+    EXPECT_EQ(p.victim(1, allValid(2)), 1u);
+}
+
+TEST(Srrip, HitPromotesToNearImminent)
+{
+    SrripPolicy p(1, 4);
+    for (uint32_t w = 0; w < 4; ++w)
+        p.onFill(0, w, false);
+    p.onHit(0, 2);
+    // Way 2 was promoted: the victim must be one of the others.
+    EXPECT_NE(p.victim(0, allValid(4)), 2u);
+}
+
+TEST(Srrip, PrefetchInsertedDistant)
+{
+    SrripPolicy p(1, 2);
+    p.onFill(0, 0, /*prefetch=*/true);
+    p.onFill(0, 1, /*prefetch=*/false);
+    // The prefetch (distant RRPV) is the first victim.
+    EXPECT_EQ(p.victim(0, allValid(2)), 0u);
+}
+
+TEST(Random, VictimWithinRangeAndInvalidFirst)
+{
+    RandomPolicy p(1, 8);
+    std::vector<bool> valid = allValid(8);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_LT(p.victim(0, valid), 8u);
+    valid[5] = false;
+    EXPECT_EQ(p.victim(0, valid), 5u);
+}
+
+TEST(Factory, MakesAllPolicies)
+{
+    EXPECT_EQ(makeReplacementPolicy("lru", 4, 4)->name(), "lru");
+    EXPECT_EQ(makeReplacementPolicy("srrip", 4, 4)->name(), "srrip");
+    EXPECT_EQ(makeReplacementPolicy("random", 4, 4)->name(), "random");
+}
+
+TEST(FactoryDeath, UnknownPolicyFatal)
+{
+    EXPECT_DEATH((void)makeReplacementPolicy("plru", 4, 4),
+                 "unknown replacement");
+}
+
+} // namespace
+} // namespace gaze
