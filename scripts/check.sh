@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# The exact tier-1 verify line from ROADMAP.md, so local runs match the
+# gate. Run from the repository root: ./scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . && cmake --build build -j && cd build \
+    && ctest --output-on-failure -j

@@ -44,14 +44,18 @@ class LruTable
     };
 
     /**
-     * @param num_sets number of sets (>=1)
+     * @param num_sets number of sets (a power of two: every caller
+     *        derives the set index with `key & (sets() - 1)`, which
+     *        silently aliases or skips sets for other counts)
      * @param num_ways associativity (>=1)
      */
     LruTable(size_t num_sets, size_t num_ways)
         : numSets(num_sets), numWays(num_ways),
           slots(num_sets * num_ways), setStamp(num_sets, 0)
     {
-        GAZE_ASSERT(num_sets >= 1 && num_ways >= 1, "bad geometry");
+        GAZE_ASSERT(isPowerOfTwo(num_sets),
+                    "set count must be a power of two, got ", num_sets);
+        GAZE_ASSERT(num_ways >= 1, "bad geometry");
     }
 
     /** Total capacity in entries. */

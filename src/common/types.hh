@@ -106,6 +106,19 @@ isPowerOfTwo(uint64_t v)
     return v != 0 && (v & (v - 1)) == 0;
 }
 
+/**
+ * True iff @p entries split across @p ways gives a mask-indexable
+ * table: ways >= 1, an even split, and a power-of-two set count.
+ * Shared by every structure that partitions entries into LRU sets
+ * (the prefetch buffer and its per-scheme configs).
+ */
+constexpr bool
+isValidSetSplit(uint64_t entries, uint64_t ways)
+{
+    return ways >= 1 && entries >= ways && entries % ways == 0
+           && isPowerOfTwo(entries / ways);
+}
+
 /** Integer log2 for power-of-two values. */
 constexpr uint32_t
 floorLog2(uint64_t v)

@@ -6,16 +6,24 @@
 
 namespace gaze
 {
+namespace
+{
+
+/** Validate before any member table is built from the geometry. */
+const GazeConfig &
+validated(const GazeConfig &config)
+{
+    config.validate();
+    return config;
+}
+
+} // namespace
 
 GazePrefetcher::GazePrefetcher(const GazeConfig &config)
-    : cfg(config), blocks(config.blocksPerRegion()),
+    : cfg(validated(config)), blocks(config.blocksPerRegion()),
       ft(config.ftSets, config.ftWays), at(config.atSets, config.atWays),
       phtTable(config), detector(config)
 {
-    GAZE_ASSERT(blocks >= 2 && isPowerOfTwo(cfg.regionSize),
-                "bad region size");
-    GAZE_ASSERT(cfg.numInitialAccesses >= 1 && cfg.numInitialAccesses <= 4,
-                "numInitialAccesses out of range");
 }
 
 std::string

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "common/log.hh"
 #include "common/types.hh"
 
 namespace gaze
@@ -97,6 +98,36 @@ struct GazeConfig
     blocksPerRegion() const
     {
         return static_cast<uint32_t>(regionSize / blockSize);
+    }
+
+    /**
+     * Die loudly on impossible geometry instead of mis-indexing: every
+     * table derives its set index with a power-of-two mask, and the PB
+     * partitions its entries evenly across ways. Called from the
+     * GazePrefetcher constructor so sweeps (factory option strings,
+     * sensitivity benches) cannot construct a silently-aliasing table.
+     */
+    void
+    validate() const
+    {
+        GAZE_ASSERT(isPowerOfTwo(regionSize) && regionSize >= 2 * blockSize,
+                    "regionSize must be a power of two >= two blocks, got ",
+                    regionSize);
+        GAZE_ASSERT(isPowerOfTwo(ftSets),
+                    "ftSets must be a power of two, got ", ftSets);
+        GAZE_ASSERT(isPowerOfTwo(atSets),
+                    "atSets must be a power of two, got ", atSets);
+        GAZE_ASSERT(isPowerOfTwo(phtSets),
+                    "phtSets must be a power of two, got ", phtSets);
+        GAZE_ASSERT(ftWays >= 1 && atWays >= 1 && phtWays >= 1,
+                    "table ways must be >= 1");
+        GAZE_ASSERT(dpctEntries >= 1, "DPCT needs at least one entry");
+        GAZE_ASSERT(isValidSetSplit(pbEntries, pbWays),
+                    "PB geometry must split into a power-of-two set count, "
+                    "got ", pbEntries, " entries x ", pbWays, " ways");
+        GAZE_ASSERT(pbIssuePerCycle >= 1, "PB must issue at least one/cycle");
+        GAZE_ASSERT(numInitialAccesses >= 1 && numInitialAccesses <= 4,
+                    "numInitialAccesses out of range: ", numInitialAccesses);
     }
 };
 

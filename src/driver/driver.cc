@@ -1,0 +1,269 @@
+#include "driver/driver.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "common/log.hh"
+#include "driver/thread_pool.hh"
+#include "prefetchers/factory.hh"
+#include "harness/export.hh"
+#include "harness/table.hh"
+
+namespace gaze
+{
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    auto dt = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double>(dt).count();
+}
+
+PfSpec
+makePfSpec(const std::string &spec, const std::string &level)
+{
+    PfSpec pf;
+    if (level == "l1")
+        pf.l1 = spec;
+    else if (level == "l2")
+        pf.l2 = spec;
+    else
+        GAZE_FATAL("unknown attach level '", level, "' (want l1 or l2)");
+    return pf;
+}
+
+uint32_t
+resolveThreads(uint32_t requested, size_t jobs)
+{
+    uint32_t n = requested;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 1;
+    }
+    if (size_t(n) > jobs)
+        n = static_cast<uint32_t>(jobs);
+    return n < 1 ? 1 : n;
+}
+
+} // namespace
+
+MatrixResult
+runMatrix(const MatrixSpec &spec)
+{
+    GAZE_ASSERT(!spec.prefetchers.empty(), "matrix needs a prefetcher axis");
+    GAZE_ASSERT(!spec.workloads.empty(), "matrix needs a workload axis");
+    GAZE_ASSERT(spec.cores >= 1, "matrix needs at least one core per cell");
+    // Validate the level and every factory spec up front so a bad
+    // flag fails before any simulation time is spent (and on the
+    // calling thread, not inside a pool worker).
+    makePfSpec("none", spec.level);
+    for (const auto &p : spec.prefetchers)
+        makePrefetcher(p);
+
+    const size_t nw = spec.workloads.size();
+    const size_t np = spec.prefetchers.size();
+    const size_t jobs = nw + np * nw;
+
+    auto start = std::chrono::steady_clock::now();
+
+    std::vector<RunResult> baselines(nw);
+    std::vector<RunResult> runs(np * nw);
+    std::vector<double> cellSeconds(np * nw, 0.0);
+
+    std::mutex progressMtx;
+    size_t finished = 0;
+    auto progress = [&](const std::string &pf, const std::string &w,
+                        double secs) {
+        if (!spec.verbose)
+            return;
+        std::unique_lock<std::mutex> lock(progressMtx);
+        ++finished;
+        std::fprintf(stderr, "[%zu/%zu] %s x %s (%.1fs)\n", finished,
+                     jobs, pf.c_str(), w.c_str(), secs);
+    };
+
+    // One cell = one fresh System, fully independent of every other
+    // cell, so the pool needs no synchronization beyond the pointers
+    // into the pre-sized result vectors.
+    auto runCell = [&](const WorkloadDef &w, const PfSpec &pf,
+                       RunResult *out, double *secs) {
+        auto t0 = std::chrono::steady_clock::now();
+        Runner runner(spec.run);
+        std::vector<WorkloadDef> mix(spec.cores, w);
+        *out = runner.runMix(mix, pf);
+        double dt = secondsSince(t0);
+        if (secs)
+            *secs = dt;
+        progress(pf.isNone() ? "baseline" : pf.label(), w.name, dt);
+    };
+
+    MatrixResult result;
+    result.threadsUsed = resolveThreads(spec.threads, jobs);
+    {
+        ThreadPool pool(result.threadsUsed);
+        for (size_t wi = 0; wi < nw; ++wi) {
+            pool.submit([&, wi] {
+                runCell(spec.workloads[wi], PfSpec{}, &baselines[wi],
+                        nullptr);
+            });
+        }
+        for (size_t pi = 0; pi < np; ++pi) {
+            PfSpec pf = makePfSpec(spec.prefetchers[pi], spec.level);
+            for (size_t wi = 0; wi < nw; ++wi) {
+                size_t cell = pi * nw + wi;
+                pool.submit([&, pf, cell, wi] {
+                    runCell(spec.workloads[wi], pf, &runs[cell],
+                            &cellSeconds[cell]);
+                });
+            }
+        }
+        pool.wait();
+    }
+
+    result.cells.reserve(np * nw);
+    for (size_t pi = 0; pi < np; ++pi) {
+        for (size_t wi = 0; wi < nw; ++wi) {
+            size_t idx = pi * nw + wi;
+            CellOutcome c;
+            c.prefetcher = spec.prefetchers[pi];
+            c.workload = spec.workloads[wi].name;
+            c.suite = spec.workloads[wi].suite;
+            c.metrics = computeMetrics(baselines[wi], runs[idx]);
+            c.ipc = runs[idx].ipc();
+            c.baseIpc = baselines[wi].ipc();
+            c.seconds = cellSeconds[idx];
+            result.cells.push_back(std::move(c));
+        }
+    }
+
+    // Suite aggregation, in each suite's order of first appearance.
+    std::vector<std::string> order;
+    for (size_t wi = 0; wi < nw; ++wi) {
+        const std::string &s = spec.workloads[wi].suite;
+        if (std::find(order.begin(), order.end(), s) == order.end())
+            order.push_back(s);
+    }
+    for (size_t pi = 0; pi < np; ++pi) {
+        for (const auto &suite : order) {
+            SuiteOutcome so;
+            so.prefetcher = spec.prefetchers[pi];
+            so.suite = suite;
+            std::vector<double> speedups;
+            double acc = 0.0, cov = 0.0, late = 0.0;
+            for (size_t wi = 0; wi < nw; ++wi) {
+                if (spec.workloads[wi].suite != suite)
+                    continue;
+                const PrefetchMetrics &m =
+                    result.cells[pi * nw + wi].metrics;
+                speedups.push_back(m.speedup);
+                acc += m.accuracy;
+                cov += m.coverage;
+                late += m.lateFraction;
+            }
+            so.workloads = static_cast<uint32_t>(speedups.size());
+            so.summary.speedup = geomean(speedups);
+            so.summary.accuracy = acc / double(so.workloads);
+            so.summary.coverage = cov / double(so.workloads);
+            so.summary.lateFraction = late / double(so.workloads);
+            result.suites.push_back(std::move(so));
+        }
+    }
+
+    result.seconds = secondsSince(start);
+    return result;
+}
+
+std::string
+matrixToJson(const MatrixSpec &spec, const MatrixResult &result)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.field("experiment", spec.name);
+
+    j.key("config").beginObject();
+    j.field("scale", simScale());
+    j.field("warmup_instructions", spec.run.effectiveWarmup());
+    j.field("sim_instructions", spec.run.effectiveSim());
+    j.field("cores", uint64_t(spec.cores));
+    j.field("level", spec.level);
+    j.field("threads", uint64_t(result.threadsUsed));
+    j.endObject();
+
+    j.key("prefetchers").beginArray();
+    for (const auto &p : spec.prefetchers)
+        j.value(p);
+    j.endArray();
+
+    j.key("workloads").beginArray();
+    for (const auto &w : spec.workloads) {
+        j.beginObject();
+        j.field("name", w.name);
+        j.field("suite", w.suite);
+        j.endObject();
+    }
+    j.endArray();
+
+    j.key("cells").beginArray();
+    for (const auto &c : result.cells) {
+        j.beginObject();
+        j.field("prefetcher", c.prefetcher);
+        j.field("workload", c.workload);
+        j.field("suite", c.suite);
+        j.field("speedup", c.metrics.speedup);
+        j.field("accuracy", c.metrics.accuracy);
+        j.field("coverage", c.metrics.coverage);
+        j.field("late_fraction", c.metrics.lateFraction);
+        j.field("ipc", c.ipc);
+        j.field("base_ipc", c.baseIpc);
+        j.field("pf_issued", c.metrics.pfIssued);
+        j.field("pf_filled", c.metrics.pfFilled);
+        j.field("pf_useful", c.metrics.pfUseful);
+        j.field("pf_late", c.metrics.pfLate);
+        j.field("llc_miss_base", c.metrics.llcMissBase);
+        j.field("llc_miss_pf", c.metrics.llcMissPf);
+        j.field("seconds", c.seconds);
+        j.endObject();
+    }
+    j.endArray();
+
+    j.key("suites").beginArray();
+    for (const auto &s : result.suites) {
+        j.beginObject();
+        j.field("prefetcher", s.prefetcher);
+        j.field("suite", s.suite);
+        j.field("workloads", uint64_t(s.workloads));
+        j.field("speedup", s.summary.speedup);
+        j.field("accuracy", s.summary.accuracy);
+        j.field("coverage", s.summary.coverage);
+        j.field("late_fraction", s.summary.lateFraction);
+        j.endObject();
+    }
+    j.endArray();
+
+    j.field("elapsed_seconds", result.seconds);
+    j.endObject();
+    return j.str();
+}
+
+std::string
+matrixToTable(const MatrixResult &result)
+{
+    TextTable t({"prefetcher", "suite", "workloads", "speedup",
+                 "accuracy", "coverage", "late"});
+    for (const auto &s : result.suites) {
+        t.addRow({s.prefetcher, s.suite, std::to_string(s.workloads),
+                  TextTable::fmt(s.summary.speedup),
+                  TextTable::pct(s.summary.accuracy),
+                  TextTable::pct(s.summary.coverage),
+                  TextTable::pct(s.summary.lateFraction)});
+    }
+    return t.toString();
+}
+
+} // namespace gaze

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The suite-runner driver behind the gaze_sim CLI: executes an
+ * arbitrary prefetcher x workload matrix across a thread pool (one
+ * System per cell, shared no-prefetch baselines), aggregates the
+ * SIV-A3 metrics per cell and per suite, and renders the whole matrix
+ * as a BENCH_<name>.json document via harness/export.
+ *
+ * The library half lives here so tests can run tiny matrices
+ * in-process; main.cc only parses flags.
+ */
+
+#ifndef GAZE_DRIVER_DRIVER_HH
+#define GAZE_DRIVER_DRIVER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/metrics.hh"
+#include "harness/runner.hh"
+#include "workloads/suites.hh"
+
+namespace gaze
+{
+
+/** Everything one matrix run needs. */
+struct MatrixSpec
+{
+    /** Factory specs for the prefetcher axis (e.g. "gaze", "pmp"). */
+    std::vector<std::string> prefetchers;
+
+    /** Workload axis (suite expansion happens in the CLI). */
+    std::vector<WorkloadDef> workloads;
+
+    /** Attach level for every prefetcher: "l1" or "l2". */
+    std::string level = "l1";
+
+    /** Homogeneous core count per cell (workload replicated N times). */
+    uint32_t cores = 1;
+
+    /** System + phase lengths shared by every cell. */
+    RunConfig run;
+
+    /** Worker threads; 0 = hardware concurrency. */
+    uint32_t threads = 0;
+
+    /** Experiment id for the BENCH_<name>.json document. */
+    std::string name = "gaze_sim";
+
+    /** Per-cell progress lines on stderr. */
+    bool verbose = false;
+};
+
+/** One (prefetcher, workload) cell of a finished matrix. */
+struct CellOutcome
+{
+    std::string prefetcher;
+    std::string workload;
+    std::string suite;
+
+    PrefetchMetrics metrics;
+    double ipc = 0.0;     ///< mean IPC with the prefetcher
+    double baseIpc = 0.0; ///< mean IPC of the shared baseline
+    double seconds = 0.0; ///< wall time of this cell's simulation
+};
+
+/** Suite-level aggregate for one prefetcher (geomean speedup etc.). */
+struct SuiteOutcome
+{
+    std::string prefetcher;
+    std::string suite;
+    SuiteSummary summary;
+    uint32_t workloads = 0;
+};
+
+/** A completed matrix. */
+struct MatrixResult
+{
+    std::vector<CellOutcome> cells;   ///< row-major: prefetcher, workload
+    std::vector<SuiteOutcome> suites; ///< per (prefetcher, suite)
+    double seconds = 0.0;             ///< wall time of the whole matrix
+    uint32_t threadsUsed = 0;
+};
+
+/**
+ * Run the matrix: baselines first (one per workload, shared by every
+ * prefetcher row), then all prefetcher cells, all on the pool. Fatal
+ * on empty axes or an unknown level.
+ */
+MatrixResult runMatrix(const MatrixSpec &spec);
+
+/** Render spec + result as the BENCH_*.json document text. */
+std::string matrixToJson(const MatrixSpec &spec, const MatrixResult &result);
+
+/** Render the per-suite summary as an aligned text table for stdout. */
+std::string matrixToTable(const MatrixResult &result);
+
+} // namespace gaze
+
+#endif // GAZE_DRIVER_DRIVER_HH

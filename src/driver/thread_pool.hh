@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fixed-size worker pool for the suite-runner driver. Each simulation
+ * cell is a self-contained job (its own System, traces, prefetchers),
+ * so the pool needs nothing beyond submit/wait: no futures, no
+ * cancellation, no work stealing.
+ */
+
+#ifndef GAZE_DRIVER_THREAD_POOL_HH
+#define GAZE_DRIVER_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace gaze
+{
+
+/** Runs submitted jobs on @p threads workers; wait() drains the queue. */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(uint32_t threads)
+    {
+        GAZE_ASSERT(threads >= 1, "thread pool needs at least one worker");
+        workers.reserve(threads);
+        for (uint32_t i = 0; i < threads; ++i)
+            workers.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            stopping = true;
+        }
+        workAvailable.notify_all();
+        for (auto &w : workers)
+            w.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a job; runs as soon as a worker is free. */
+    void
+    submit(std::function<void()> job)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            GAZE_ASSERT(!stopping, "submit after shutdown");
+            queue.push_back(std::move(job));
+            ++pending;
+        }
+        workAvailable.notify_one();
+    }
+
+    /** Block until every submitted job has finished. */
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        allDone.wait(lock, [this] { return pending == 0; });
+    }
+
+    size_t threadCount() const { return workers.size(); }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> job;
+            {
+                std::unique_lock<std::mutex> lock(mtx);
+                workAvailable.wait(lock, [this] {
+                    return stopping || !queue.empty();
+                });
+                if (queue.empty())
+                    return; // stopping, nothing left
+                job = std::move(queue.front());
+                queue.pop_front();
+            }
+            job();
+            {
+                std::unique_lock<std::mutex> lock(mtx);
+                if (--pending == 0)
+                    allDone.notify_all();
+            }
+        }
+    }
+
+    std::mutex mtx;
+    std::condition_variable workAvailable;
+    std::condition_variable allDone;
+    std::deque<std::function<void()>> queue;
+    std::vector<std::thread> workers;
+    size_t pending = 0;
+    bool stopping = false;
+};
+
+} // namespace gaze
+
+#endif // GAZE_DRIVER_THREAD_POOL_HH

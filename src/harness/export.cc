@@ -1,5 +1,7 @@
 #include "harness/export.hh"
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -89,6 +91,202 @@ CsvExport::write() const
     if (!out)
         GAZE_FATAL("cannot write results file '", path, "'");
     out << toCsv();
+    return path;
+}
+
+void
+JsonWriter::separate()
+{
+    if (stack.empty()) {
+        GAZE_ASSERT(!rootUsed, "json document already has a root value");
+        rootUsed = true;
+    } else {
+        if (stack.back() == Scope::Object) {
+            GAZE_ASSERT(keyPending, "json value without a key in object");
+        } else if (!keyPending) {
+            if (!first.back())
+                out += ',';
+            first.back() = false;
+        }
+    }
+    keyPending = false;
+}
+
+void
+JsonWriter::append(const std::string &text)
+{
+    separate();
+    out += text;
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string r = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': r += "\\\""; break;
+          case '\\': r += "\\\\"; break;
+          case '\n': r += "\\n"; break;
+          case '\r': r += "\\r"; break;
+          case '\t': r += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                r += buf;
+            } else {
+                r += c;
+            }
+        }
+    }
+    r += '"';
+    return r;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    append("{");
+    stack.push_back(Scope::Object);
+    first.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    GAZE_ASSERT(!stack.empty() && stack.back() == Scope::Object
+                    && !keyPending,
+                "unbalanced json object");
+    stack.pop_back();
+    first.pop_back();
+    out += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    append("[");
+    stack.push_back(Scope::Array);
+    first.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    GAZE_ASSERT(!stack.empty() && stack.back() == Scope::Array,
+                "unbalanced json array");
+    stack.pop_back();
+    first.pop_back();
+    out += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    GAZE_ASSERT(!stack.empty() && stack.back() == Scope::Object
+                    && !keyPending,
+                "json key outside object");
+    if (!first.back())
+        out += ',';
+    first.back() = false;
+    out += escape(k);
+    out += ':';
+    keyPending = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    append(escape(v));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    if (!std::isfinite(v)) {
+        append("null");
+        return *this;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    append(buf);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    append(std::to_string(v));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    append(std::to_string(v));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    append(v ? "true" : "false");
+    return *this;
+}
+
+std::string
+JsonWriter::str() const
+{
+    GAZE_ASSERT(stack.empty(), "json document has open scopes");
+    GAZE_ASSERT(rootUsed, "json document is empty");
+    return out;
+}
+
+JsonExport::JsonExport(std::string name_, std::string json_text)
+    : name(std::move(name_)), text(std::move(json_text))
+{
+}
+
+std::string
+JsonExport::fileName() const
+{
+    return "BENCH_" + name + ".json";
+}
+
+std::string
+JsonExport::defaultPath() const
+{
+    if (CsvExport::enabled())
+        return std::string(resultsDir()) + "/" + fileName();
+    return fileName();
+}
+
+std::string
+JsonExport::write() const
+{
+    return writeTo(defaultPath());
+}
+
+std::string
+JsonExport::writeTo(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        GAZE_FATAL("cannot write results file '", path, "'");
+    out << text << '\n';
     return path;
 }
 

@@ -14,6 +14,13 @@ SpatialPatternPrefetcher::SpatialPatternPrefetcher(
 {
     GAZE_ASSERT(blocks >= 2 && isPowerOfTwo(base.regionSize),
                 "bad region size");
+    // ft/at set counts are masked into indices (`& (sets() - 1)`), so
+    // the LruTable power-of-two check has already fired; what remains
+    // is the PB, whose geometry is only split into sets at attach().
+    GAZE_ASSERT(isValidSetSplit(base.pbEntries, base.pbWays),
+                "PB geometry must split into a power-of-two set count, "
+                "got ", base.pbEntries, " entries x ", base.pbWays,
+                " ways");
 }
 
 void

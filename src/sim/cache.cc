@@ -15,7 +15,10 @@ Cache::Cache(const CacheParams &params, MemoryDevice *lower_dev,
       repl(makeReplacementPolicy(params.replacement, params.sets,
                                  params.ways))
 {
-    GAZE_ASSERT(isPowerOfTwo(cfg.sets), "sets must be a power of two");
+    GAZE_ASSERT(isPowerOfTwo(cfg.sets),
+                cfg.name, ": sets must be a power of two, got ", cfg.sets);
+    GAZE_ASSERT(cfg.ways >= 1, cfg.name, ": cache needs at least one way");
+    GAZE_ASSERT(cfg.mshrs >= 1, cfg.name, ": cache needs at least one MSHR");
     GAZE_ASSERT(lower != nullptr, "cache needs a lower level");
     GAZE_ASSERT(clock != nullptr, "cache needs a clock");
 }

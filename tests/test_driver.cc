@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Suite-runner driver tests: the thread pool drains everything it is
+ * given, JsonWriter emits syntactically valid documents, and a tiny
+ * prefetcher x workload matrix run in-process produces parseable JSON
+ * with one cell per matrix entry and sane metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <string>
+
+#include "driver/driver.hh"
+#include "driver/thread_pool.hh"
+#include "harness/export.hh"
+#include "workloads/suites.hh"
+
+namespace gaze
+{
+namespace
+{
+
+// ---- a minimal recursive-descent JSON syntax checker ----------------
+// Enough to assert "this is JSON a real parser would accept": objects,
+// arrays, strings with escapes, numbers, true/false/null.
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text)
+        : s(text)
+    {
+    }
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!parseValue())
+            return false;
+        skipWs();
+        return pos == s.size();
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < s.size() && std::isspace(unsigned(s[pos])))
+            ++pos;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = std::string(word).size();
+        if (s.compare(pos, n, word) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    bool
+    parseString()
+    {
+        if (s[pos] != '"')
+            return false;
+        ++pos;
+        while (pos < s.size() && s[pos] != '"') {
+            if (s[pos] == '\\') {
+                ++pos;
+                if (pos >= s.size())
+                    return false;
+                if (s[pos] == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos;
+                        if (pos >= s.size()
+                            || !std::isxdigit(unsigned(s[pos])))
+                            return false;
+                    }
+                }
+            }
+            ++pos;
+        }
+        if (pos >= s.size())
+            return false;
+        ++pos; // closing quote
+        return true;
+    }
+
+    bool
+    parseNumber()
+    {
+        size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        while (pos < s.size()
+               && (std::isdigit(unsigned(s[pos])) || s[pos] == '.'
+                   || s[pos] == 'e' || s[pos] == 'E' || s[pos] == '+'
+                   || s[pos] == '-'))
+            ++pos;
+        return pos > start;
+    }
+
+    bool
+    parseValue()
+    {
+        skipWs();
+        if (pos >= s.size())
+            return false;
+        char c = s[pos];
+        if (c == '{')
+            return parseCompound('}', /*object=*/true);
+        if (c == '[')
+            return parseCompound(']', /*object=*/false);
+        if (c == '"')
+            return parseString();
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        return parseNumber();
+    }
+
+    bool
+    parseCompound(char close, bool object)
+    {
+        ++pos; // opening brace/bracket
+        skipWs();
+        if (pos < s.size() && s[pos] == close) {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (object) {
+                if (!parseString())
+                    return false;
+                skipWs();
+                if (pos >= s.size() || s[pos] != ':')
+                    return false;
+                ++pos;
+            }
+            if (!parseValue())
+                return false;
+            skipWs();
+            if (pos >= s.size())
+                return false;
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == close) {
+                ++pos;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    const std::string &s;
+    size_t pos = 0;
+};
+
+// ---- ThreadPool -----------------------------------------------------
+
+TEST(ThreadPool, DrainsEveryJob)
+{
+    std::atomic<int> counter{0};
+    ThreadPool pool(4);
+    for (int i = 0; i < 200; ++i)
+        pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    std::atomic<int> counter{0};
+    ThreadPool pool(2);
+    pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 1);
+    pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolDeath, ZeroWorkersPanics)
+{
+    EXPECT_DEATH(ThreadPool{0}, "at least one worker");
+}
+
+// ---- JsonWriter -----------------------------------------------------
+
+TEST(JsonWriter, NestedDocumentIsValid)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.field("name", std::string("x"));
+    j.key("list").beginArray();
+    j.value(uint64_t(1)).value(2.5).value(true);
+    j.beginObject().field("inner", std::string("y")).endObject();
+    j.endArray();
+    j.endObject();
+
+    std::string text = j.str();
+    EXPECT_TRUE(JsonChecker(text).valid()) << text;
+    EXPECT_EQ(text,
+              "{\"name\":\"x\",\"list\":[1,2.5,true,{\"inner\":\"y\"}]}");
+}
+
+TEST(JsonWriter, EscapesStringsAndRejectsNonFinite)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.field("quote\"back\\slash\nnewline", std::string("\ttab"));
+    j.field("nan", 0.0 / 0.0);
+    j.endObject();
+
+    std::string text = j.str();
+    EXPECT_TRUE(JsonChecker(text).valid()) << text;
+    EXPECT_NE(text.find("\\\""), std::string::npos);
+    EXPECT_NE(text.find("\\n"), std::string::npos);
+    EXPECT_NE(text.find("\"nan\":null"), std::string::npos);
+}
+
+TEST(JsonWriterDeath, MisuseIsFatal)
+{
+    JsonWriter no_key;
+    no_key.beginObject();
+    EXPECT_DEATH(no_key.value(uint64_t(1)), "without a key");
+
+    JsonWriter open;
+    open.beginObject();
+    EXPECT_DEATH(open.str(), "open scopes");
+
+    JsonWriter two_roots;
+    two_roots.beginObject();
+    two_roots.endObject();
+    EXPECT_DEATH(two_roots.beginObject(), "root value");
+}
+
+// ---- runMatrix ------------------------------------------------------
+
+MatrixSpec
+tinySpec()
+{
+    MatrixSpec spec;
+    spec.prefetchers = {"ip_stride", "sms"};
+    spec.workloads = {findWorkload("leslie3d"), findWorkload("mcf")};
+    spec.run.warmupInstr = 1000;
+    spec.run.simInstr = 4000;
+    spec.threads = 4;
+    spec.name = "driver_test";
+    return spec;
+}
+
+TEST(Driver, TinyMatrixProducesOneCellPerEntry)
+{
+    MatrixSpec spec = tinySpec();
+    MatrixResult result = runMatrix(spec);
+
+    ASSERT_EQ(result.cells.size(), 4u);
+    EXPECT_GE(result.threadsUsed, 1u);
+    for (const auto &c : result.cells) {
+        EXPECT_GT(c.ipc, 0.0) << c.prefetcher << " x " << c.workload;
+        EXPECT_GT(c.baseIpc, 0.0);
+        EXPECT_GT(c.metrics.speedup, 0.0);
+        EXPECT_GE(c.metrics.accuracy, 0.0);
+        EXPECT_LE(c.metrics.accuracy, 1.0);
+    }
+
+    // Both prefetcher rows share the same baseline per workload.
+    ASSERT_EQ(result.cells[0].workload, result.cells[2].workload);
+    EXPECT_EQ(result.cells[0].baseIpc, result.cells[2].baseIpc);
+
+    // One suite aggregate per (prefetcher, suite) pair.
+    ASSERT_EQ(result.suites.size(), 2u);
+    for (const auto &s : result.suites) {
+        EXPECT_EQ(s.suite, "spec06");
+        EXPECT_EQ(s.workloads, 2u);
+        EXPECT_GT(s.summary.speedup, 0.0);
+    }
+}
+
+TEST(Driver, MatrixJsonIsParseable)
+{
+    MatrixSpec spec = tinySpec();
+    MatrixResult result = runMatrix(spec);
+    std::string json = matrixToJson(spec, result);
+
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"experiment\":\"driver_test\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"cells\":["), std::string::npos);
+    EXPECT_NE(json.find("\"suites\":["), std::string::npos);
+    EXPECT_NE(json.find("\"prefetcher\":\"ip_stride\""),
+              std::string::npos);
+
+    // The table renderer covers every suite row.
+    std::string table = matrixToTable(result);
+    EXPECT_NE(table.find("ip_stride"), std::string::npos);
+    EXPECT_NE(table.find("sms"), std::string::npos);
+}
+
+TEST(Driver, MulticoreCellsRun)
+{
+    MatrixSpec spec = tinySpec();
+    spec.prefetchers = {"ip_stride"};
+    spec.workloads = {findWorkload("leslie3d")};
+    spec.cores = 2;
+    MatrixResult result = runMatrix(spec);
+    ASSERT_EQ(result.cells.size(), 1u);
+    EXPECT_GT(result.cells[0].ipc, 0.0);
+}
+
+TEST(DriverDeath, EmptyAxesPanic)
+{
+    MatrixSpec no_pf = tinySpec();
+    no_pf.prefetchers.clear();
+    EXPECT_DEATH(runMatrix(no_pf), "prefetcher axis");
+
+    MatrixSpec no_w = tinySpec();
+    no_w.workloads.clear();
+    EXPECT_DEATH(runMatrix(no_w), "workload axis");
+}
+
+} // namespace
+} // namespace gaze
