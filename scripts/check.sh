@@ -1,9 +1,31 @@
 #!/usr/bin/env sh
-# The exact tier-1 verify line from ROADMAP.md, so local runs match the
-# gate. Run from the repository root: ./scripts/check.sh
+# Fast local gate, run from the repository root: ./scripts/check.sh
+#
+# Builds everything, runs the tier-1-labeled CTest set (the "slow"
+# label — long paper-claim sweeps — is what full `ctest` adds on top,
+# which is the exact tier-1 verify line from ROADMAP.md), then smokes
+# the trace record -> replay path end to end. set -e plus
+# --stop-on-failure makes every stage fail fast on the first error.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-cmake -B build -S . && cmake --build build -j && cd build \
-    && ctest --output-on-failure -j
+cmake -B build -S .
+cmake --build build -j
+
+cd build
+ctest -L tier1 --output-on-failure --stop-on-failure -j
+
+# Trace subsystem smoke: record two workloads, validate the files,
+# replay them through the suite runner.
+SMOKE_DIR=check_traces
+rm -rf "$SMOKE_DIR"
+GAZE_SIM_SCALE=0.02 ./src/gaze_trace record \
+    --workloads=leslie3d,mcf --out-dir="$SMOKE_DIR"
+./src/gaze_trace validate "$SMOKE_DIR"/leslie3d.gzt "$SMOKE_DIR"/mcf.gzt
+GAZE_SIM_SCALE=0.02 ./src/gaze_sim --quiet \
+    --prefetchers=gaze --workloads=leslie3d,mcf \
+    --trace-dir="$SMOKE_DIR" --warmup=2000 --sim=8000 \
+    --out="$SMOKE_DIR"/BENCH_check.json
+
+echo "check.sh: all stages passed"

@@ -1,0 +1,286 @@
+#include "driver/cli.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/log.hh"
+#include "prefetchers/factory.hh"
+
+namespace gaze
+{
+namespace
+{
+
+const char *gazeSimUsageText =
+    "usage: gaze_sim [options]\n"
+    "\n"
+    "Runs a prefetcher x workload matrix in parallel (one simulated\n"
+    "System per cell plus one shared no-prefetch baseline per\n"
+    "workload) and writes every cell's metrics as JSON.\n"
+    "\n"
+    "options:\n"
+    "  --prefetchers=a,b,...  factory specs (default: ip_stride,gaze)\n"
+    "  --suites=s1,s2,...     workload suites (default: the five\n"
+    "                         main-evaluation suites)\n"
+    "  --workloads=w1,w2,...  explicit workloads (overrides --suites)\n"
+    "  --trace-dir=DIR        replay workloads from DIR/<name>.gzt\n"
+    "                         (recorded by gaze_trace) instead of\n"
+    "                         regenerating them\n"
+    "  --level=l1|l2          prefetcher attach level (default: l1)\n"
+    "  --cores=N              homogeneous cores per cell (default: 1)\n"
+    "  --threads=N            worker threads (default: hardware)\n"
+    "  --warmup=N             warmup instructions per core\n"
+    "  --sim=N                measured instructions per core\n"
+    "  --name=ID              experiment id (default: gaze_sim)\n"
+    "  --out=FILE             JSON output path (default:\n"
+    "                         [$GAZE_RESULTS_DIR/]BENCH_<name>.json)\n"
+    "  --quiet                no per-cell progress on stderr\n"
+    "  --list                 print known prefetchers/suites/workloads\n"
+    "  --help                 this text\n"
+    "\n"
+    "GAZE_SIM_SCALE scales default trace/phase lengths, as in the\n"
+    "bench binaries.\n";
+
+const char *gazeTraceUsageText =
+    "usage: gaze_trace <command> [options]\n"
+    "\n"
+    "Records registry workloads as .gzt trace files and inspects\n"
+    "them. A recorded trace replays bit-identically through\n"
+    "gaze_sim --trace-dir=DIR.\n"
+    "\n"
+    "commands:\n"
+    "  record    generate workloads and write DIR/<name>.gzt each\n"
+    "    --workloads=w1,...   explicit workloads (overrides --suites)\n"
+    "    --suites=s1,...      whole suites (default: the five\n"
+    "                         main-evaluation suites)\n"
+    "    --out-dir=DIR        destination directory (default: .)\n"
+    "  info FILE...      print header, provenance and size stats\n"
+    "  validate FILE...  decode every record, verify count/checksum\n"
+    "  --help            this text\n"
+    "\n"
+    "GAZE_SIM_SCALE scales generated trace lengths; the scale used at\n"
+    "record time is stored in the file's meta string.\n";
+
+/** Split "--key=value" (value empty when no '='). */
+void
+splitFlag(const std::string &arg, std::string *key, std::string *val)
+{
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+        *key = arg;
+        val->clear();
+    } else {
+        *key = arg.substr(0, eq);
+        *val = arg.substr(eq + 1);
+    }
+}
+
+std::vector<WorkloadDef>
+expandWorkloads(const std::vector<std::string> &workload_names,
+                bool workloads_given,
+                const std::vector<std::string> &suite_names,
+                bool suites_given, const char *cli)
+{
+    // An explicitly empty list is a mistake (often a script with an
+    // unset variable), not a request for the default matrix.
+    if (workloads_given && workload_names.empty())
+        GAZE_FATAL(cli, ": --workloads needs at least one name");
+    if (suites_given && suite_names.empty())
+        GAZE_FATAL(cli, ": --suites needs at least one suite");
+
+    std::vector<WorkloadDef> out;
+    if (!workload_names.empty()) {
+        for (const auto &n : workload_names)
+            out.push_back(findWorkload(n));
+        return out;
+    }
+    std::vector<std::string> suites = suite_names;
+    if (suites.empty())
+        suites = mainSuites();
+    for (const auto &s : suites)
+        for (const auto &w : suiteWorkloads(s))
+            out.push_back(w);
+    return out;
+}
+
+} // namespace
+
+const char *
+gazeSimUsage()
+{
+    return gazeSimUsageText;
+}
+
+const char *
+gazeTraceUsage()
+{
+    return gazeTraceUsageText;
+}
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos <= s.size()) {
+        size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > pos)
+            out.push_back(s.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+uint64_t
+parseCount(const std::string &flag, const std::string &v, uint64_t max)
+{
+    // strtoull silently wraps a leading minus, so digits only.
+    bool digits_only = !v.empty();
+    for (char c : v)
+        digits_only = digits_only && c >= '0' && c <= '9';
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+    if (!digits_only || (end && *end != '\0') || errno == ERANGE)
+        GAZE_FATAL("bad numeric value for ", flag, ": '", v, "'");
+    if (n > max)
+        GAZE_FATAL(flag, " out of range: ", v, " (max ", max, ")");
+    return n;
+}
+
+GazeSimOptions
+parseGazeSimArgs(const std::vector<std::string> &args)
+{
+    GazeSimOptions opt;
+    opt.spec.prefetchers = {"ip_stride", "gaze"};
+    opt.spec.verbose = true;
+
+    std::vector<std::string> suites;
+    std::vector<std::string> workloadNames;
+    bool suitesGiven = false, workloadsGiven = false;
+
+    for (const auto &arg : args) {
+        std::string key, val;
+        splitFlag(arg, &key, &val);
+
+        if (key == "--help" || key == "-h") {
+            opt.showHelp = true;
+            return opt;
+        } else if (key == "--list") {
+            opt.showList = true;
+            return opt;
+        } else if (key == "--quiet") {
+            opt.spec.verbose = false;
+        } else if (key == "--prefetchers") {
+            opt.spec.prefetchers = splitList(val);
+        } else if (key == "--suites") {
+            suites = splitList(val);
+            suitesGiven = true;
+        } else if (key == "--workloads") {
+            workloadNames = splitList(val);
+            workloadsGiven = true;
+        } else if (key == "--trace-dir") {
+            if (val.empty())
+                GAZE_FATAL("--trace-dir needs a directory");
+            opt.spec.traceDir = val;
+        } else if (key == "--level") {
+            opt.spec.level = val;
+        } else if (key == "--cores") {
+            opt.spec.cores =
+                static_cast<uint32_t>(parseCount(key, val, 256));
+        } else if (key == "--threads") {
+            opt.spec.threads =
+                static_cast<uint32_t>(parseCount(key, val, 4096));
+        } else if (key == "--warmup") {
+            opt.spec.run.warmupInstr = parseCount(key, val);
+        } else if (key == "--sim") {
+            opt.spec.run.simInstr = parseCount(key, val);
+        } else if (key == "--name") {
+            opt.spec.name = val;
+        } else if (key == "--out") {
+            opt.outPath = val;
+        } else {
+            GAZE_FATAL("unknown option '", arg,
+                       "' (see gaze_sim --help)");
+        }
+    }
+
+    if (opt.spec.prefetchers.empty())
+        GAZE_FATAL("--prefetchers needs at least one spec");
+    // Reject bad factory specs at parse time, on the calling thread.
+    for (const auto &p : opt.spec.prefetchers)
+        makePrefetcher(p);
+
+    opt.spec.workloads = expandWorkloads(workloadNames, workloadsGiven,
+                                         suites, suitesGiven,
+                                         "gaze_sim");
+    if (!opt.spec.traceDir.empty())
+        opt.spec.workloads =
+            withTraceDir(std::move(opt.spec.workloads),
+                         opt.spec.traceDir);
+    return opt;
+}
+
+GazeTraceOptions
+parseGazeTraceArgs(const std::vector<std::string> &args)
+{
+    GazeTraceOptions opt;
+    if (args.empty())
+        return opt; // Help
+
+    const std::string &cmd = args[0];
+    if (cmd == "--help" || cmd == "-h" || cmd == "help")
+        return opt;
+
+    std::vector<std::string> rest(args.begin() + 1, args.end());
+    if (cmd == "record") {
+        opt.command = GazeTraceOptions::Command::Record;
+        std::vector<std::string> suites, workloadNames;
+        bool suitesGiven = false, workloadsGiven = false;
+        for (const auto &arg : rest) {
+            std::string key, val;
+            splitFlag(arg, &key, &val);
+            if (key == "--workloads") {
+                workloadNames = splitList(val);
+                workloadsGiven = true;
+            } else if (key == "--suites") {
+                suites = splitList(val);
+                suitesGiven = true;
+            } else if (key == "--out-dir") {
+                if (val.empty())
+                    GAZE_FATAL("--out-dir needs a directory");
+                opt.outDir = val;
+            } else {
+                GAZE_FATAL("unknown record option '", arg,
+                           "' (see gaze_trace --help)");
+            }
+        }
+        opt.workloads = expandWorkloads(workloadNames, workloadsGiven,
+                                        suites, suitesGiven,
+                                        "gaze_trace");
+        return opt;
+    }
+
+    if (cmd == "info" || cmd == "validate") {
+        opt.command = cmd == "info" ? GazeTraceOptions::Command::Info
+                                    : GazeTraceOptions::Command::Validate;
+        for (const auto &arg : rest) {
+            // Anything dash-prefixed is a flag typo, not a file name.
+            if (!arg.empty() && arg[0] == '-')
+                GAZE_FATAL("unknown ", cmd, " option '", arg,
+                           "' (see gaze_trace --help)");
+            opt.files.push_back(arg);
+        }
+        if (opt.files.empty())
+            GAZE_FATAL("gaze_trace ", cmd,
+                       " needs at least one .gzt file");
+        return opt;
+    }
+
+    GAZE_FATAL("unknown gaze_trace command '", cmd,
+               "' (want record, info or validate)");
+}
+
+} // namespace gaze

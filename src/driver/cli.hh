@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Flag parsing for the two CLIs (gaze_sim and gaze_trace), factored
+ * out of the main()s so the error paths — unknown flags, bad
+ * suite/workload/prefetcher names, malformed --trace-dir, junk
+ * numbers — are unit-testable. Parsers resolve names against the
+ * registries eagerly: anything wrong in argv is fatal here, before a
+ * single cycle is simulated.
+ */
+
+#ifndef GAZE_DRIVER_CLI_HH
+#define GAZE_DRIVER_CLI_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/driver.hh"
+#include "workloads/suites.hh"
+
+namespace gaze
+{
+
+/** Parsed gaze_sim command line. */
+struct GazeSimOptions
+{
+    MatrixSpec spec;
+    std::string outPath;    ///< --out; empty = default BENCH path
+    bool showHelp = false;  ///< --help: print usage, run nothing
+    bool showList = false;  ///< --list: print registries, run nothing
+};
+
+/**
+ * Parse gaze_sim flags (argv without the program name). Expands
+ * --suites/--workloads into WorkloadDefs, rebinds them to recorded
+ * traces when --trace-dir is given, and validates every prefetcher
+ * spec. Fatal on any malformed or unknown argument.
+ */
+GazeSimOptions parseGazeSimArgs(const std::vector<std::string> &args);
+
+/** gaze_sim usage text. */
+const char *gazeSimUsage();
+
+/** Parsed gaze_trace command line. */
+struct GazeTraceOptions
+{
+    enum class Command
+    {
+        Record,   ///< generate workloads and persist them as .gzt
+        Info,     ///< print header/provenance of .gzt files
+        Validate, ///< full decode + checksum verification
+        Help
+    };
+
+    Command command = Command::Help;
+    std::vector<WorkloadDef> workloads; ///< record: what to record
+    std::string outDir = ".";           ///< record: --out-dir
+    std::vector<std::string> files;     ///< info/validate operands
+};
+
+/**
+ * Parse gaze_trace arguments: "record [--suites=|--workloads=]
+ * [--out-dir=]", "info FILE...", "validate FILE...". Fatal on unknown
+ * commands/flags, unresolvable workload names, or missing operands.
+ */
+GazeTraceOptions parseGazeTraceArgs(const std::vector<std::string> &args);
+
+/** gaze_trace usage text. */
+const char *gazeTraceUsage();
+
+/** Split "a,b,c" into tokens, dropping empties. */
+std::vector<std::string> splitList(const std::string &s);
+
+/**
+ * Strict decimal parse for flag values: digits only, within
+ * [0, @p max]. Fatal otherwise, naming @p flag.
+ */
+uint64_t parseCount(const std::string &flag, const std::string &value,
+                    uint64_t max = UINT64_MAX);
+
+} // namespace gaze
+
+#endif // GAZE_DRIVER_CLI_HH

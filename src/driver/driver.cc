@@ -193,6 +193,13 @@ matrixToJson(const MatrixSpec &spec, const MatrixResult &result)
     j.field("cores", uint64_t(spec.cores));
     j.field("level", spec.level);
     j.field("threads", uint64_t(result.threadsUsed));
+    // Trace provenance: where the workload streams came from, so a
+    // result document is reproducible on its own. trace_dir is null
+    // for generator runs (traces regenerated from RNG state).
+    if (spec.traceDir.empty())
+        j.key("trace_dir").nullValue();
+    else
+        j.field("trace_dir", spec.traceDir);
     j.endObject();
 
     j.key("prefetchers").beginArray();
@@ -205,6 +212,10 @@ matrixToJson(const MatrixSpec &spec, const MatrixResult &result)
         j.beginObject();
         j.field("name", w.name);
         j.field("suite", w.suite);
+        j.field("source",
+                w.traceFile.empty() ? "generator" : "trace_file");
+        if (!w.traceFile.empty())
+            j.field("trace_file", w.traceFile);
         j.endObject();
     }
     j.endArray();

@@ -33,6 +33,13 @@ struct MatrixSpec
     /** Workload axis (suite expansion happens in the CLI). */
     std::vector<WorkloadDef> workloads;
 
+    /**
+     * Where the workloads' .gzt files came from when they replay
+     * recorded traces (--trace-dir); empty for generator runs. Only
+     * provenance — the workloads already carry their traceFile.
+     */
+    std::string traceDir;
+
     /** Attach level for every prefetcher: "l1" or "l2". */
     std::string level = "l1";
 

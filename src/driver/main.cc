@@ -1,18 +1,16 @@
 /**
  * @file
- * gaze_sim: the suite-runner CLI. Expands --suites/--workloads and
- * --prefetchers into a matrix, runs it on a thread pool via
- * driver/runMatrix, prints the per-suite table, and writes the full
- * matrix as BENCH_<name>.json.
+ * gaze_sim: the suite-runner CLI. Flag parsing (including
+ * --suites/--workloads/--trace-dir expansion) lives in driver/cli so
+ * its error paths are unit-testable; this file only sequences parse ->
+ * run -> report.
  */
 
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
-#include "common/log.hh"
+#include "driver/cli.hh"
 #include "driver/driver.hh"
 #include "harness/export.hh"
 #include "prefetchers/factory.hh"
@@ -20,67 +18,6 @@
 
 namespace
 {
-
-const char *usageText =
-    "usage: gaze_sim [options]\n"
-    "\n"
-    "Runs a prefetcher x workload matrix in parallel (one simulated\n"
-    "System per cell plus one shared no-prefetch baseline per\n"
-    "workload) and writes every cell's metrics as JSON.\n"
-    "\n"
-    "options:\n"
-    "  --prefetchers=a,b,...  factory specs (default: ip_stride,gaze)\n"
-    "  --suites=s1,s2,...     workload suites (default: the five\n"
-    "                         main-evaluation suites)\n"
-    "  --workloads=w1,w2,...  explicit workloads (overrides --suites)\n"
-    "  --level=l1|l2          prefetcher attach level (default: l1)\n"
-    "  --cores=N              homogeneous cores per cell (default: 1)\n"
-    "  --threads=N            worker threads (default: hardware)\n"
-    "  --warmup=N             warmup instructions per core\n"
-    "  --sim=N                measured instructions per core\n"
-    "  --name=ID              experiment id (default: gaze_sim)\n"
-    "  --out=FILE             JSON output path (default:\n"
-    "                         [$GAZE_RESULTS_DIR/]BENCH_<name>.json)\n"
-    "  --quiet                no per-cell progress on stderr\n"
-    "  --list                 print known prefetchers/suites/workloads\n"
-    "  --help                 this text\n"
-    "\n"
-    "GAZE_SIM_SCALE scales default trace/phase lengths, as in the\n"
-    "bench binaries.\n";
-
-std::vector<std::string>
-splitList(const std::string &s)
-{
-    std::vector<std::string> out;
-    size_t pos = 0;
-    while (pos <= s.size()) {
-        size_t comma = s.find(',', pos);
-        if (comma == std::string::npos)
-            comma = s.size();
-        if (comma > pos)
-            out.push_back(s.substr(pos, comma - pos));
-        pos = comma + 1;
-    }
-    return out;
-}
-
-uint64_t
-parseCount(const std::string &flag, const std::string &v,
-           uint64_t max = UINT64_MAX)
-{
-    // strtoull silently wraps a leading minus, so digits only.
-    bool digits_only = !v.empty();
-    for (char c : v)
-        digits_only = digits_only && c >= '0' && c <= '9';
-    errno = 0;
-    char *end = nullptr;
-    unsigned long long n = std::strtoull(v.c_str(), &end, 10);
-    if (!digits_only || (end && *end != '\0') || errno == ERANGE)
-        GAZE_FATAL("bad numeric value for ", flag, ": '", v, "'");
-    if (n > max)
-        GAZE_FATAL(flag, " out of range: ", v, " (max ", max, ")");
-    return n;
-}
 
 void
 printLists()
@@ -104,86 +41,24 @@ main(int argc, char **argv)
 {
     using namespace gaze;
 
-    std::vector<std::string> pfSpecs = {"ip_stride", "gaze"};
-    std::vector<std::string> suites;
-    std::vector<std::string> workloadNames;
-    bool suitesGiven = false, workloadsGiven = false;
-    MatrixSpec spec;
-    spec.verbose = true;
-    std::string outPath;
-
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        std::string key = arg, val;
-        size_t eq = arg.find('=');
-        if (eq != std::string::npos) {
-            key = arg.substr(0, eq);
-            val = arg.substr(eq + 1);
-        }
-
-        if (key == "--help" || key == "-h") {
-            std::fputs(usageText, stdout);
-            return 0;
-        } else if (key == "--list") {
-            printLists();
-            return 0;
-        } else if (key == "--quiet") {
-            spec.verbose = false;
-        } else if (key == "--prefetchers") {
-            pfSpecs = splitList(val);
-        } else if (key == "--suites") {
-            suites = splitList(val);
-            suitesGiven = true;
-        } else if (key == "--workloads") {
-            workloadNames = splitList(val);
-            workloadsGiven = true;
-        } else if (key == "--level") {
-            spec.level = val;
-        } else if (key == "--cores") {
-            spec.cores = static_cast<uint32_t>(parseCount(key, val, 256));
-        } else if (key == "--threads") {
-            spec.threads =
-                static_cast<uint32_t>(parseCount(key, val, 4096));
-        } else if (key == "--warmup") {
-            spec.run.warmupInstr = parseCount(key, val);
-        } else if (key == "--sim") {
-            spec.run.simInstr = parseCount(key, val);
-        } else if (key == "--name") {
-            spec.name = val;
-        } else if (key == "--out") {
-            outPath = val;
-        } else {
-            std::fputs(usageText, stderr);
-            GAZE_FATAL("unknown option '", arg, "'");
-        }
+    GazeSimOptions opt =
+        parseGazeSimArgs(std::vector<std::string>(argv + 1, argv + argc));
+    if (opt.showHelp) {
+        std::fputs(gazeSimUsage(), stdout);
+        return 0;
+    }
+    if (opt.showList) {
+        printLists();
+        return 0;
     }
 
-    if (pfSpecs.empty())
-        GAZE_FATAL("--prefetchers needs at least one spec");
-    spec.prefetchers = pfSpecs;
-
-    // An explicitly empty list is a mistake (often a script with an
-    // unset variable), not a request for the default matrix.
-    if (workloadsGiven && workloadNames.empty())
-        GAZE_FATAL("--workloads needs at least one name");
-    if (suitesGiven && suites.empty())
-        GAZE_FATAL("--suites needs at least one suite");
-
-    if (!workloadNames.empty()) {
-        for (const auto &n : workloadNames)
-            spec.workloads.push_back(findWorkload(n));
-    } else {
-        if (suites.empty())
-            suites = mainSuites();
-        for (const auto &s : suites)
-            for (const auto &w : suiteWorkloads(s))
-                spec.workloads.push_back(w);
-    }
-
+    const MatrixSpec &spec = opt.spec;
     std::printf("gaze_sim: %zu prefetcher(s) x %zu workload(s), "
-                "%u core(s)/cell, level %s\n",
+                "%u core(s)/cell, level %s%s%s\n",
                 spec.prefetchers.size(), spec.workloads.size(),
-                spec.cores, spec.level.c_str());
+                spec.cores, spec.level.c_str(),
+                spec.traceDir.empty() ? "" : ", traces from ",
+                spec.traceDir.c_str());
 
     MatrixResult result = runMatrix(spec);
 
@@ -194,7 +69,7 @@ main(int argc, char **argv)
 
     JsonExport doc(spec.name, matrixToJson(spec, result));
     std::string path =
-        outPath.empty() ? doc.write() : doc.writeTo(outPath);
+        opt.outPath.empty() ? doc.write() : doc.writeTo(opt.outPath);
     std::printf("results: %s\n", path.c_str());
     return 0;
 }

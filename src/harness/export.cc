@@ -247,6 +247,13 @@ JsonWriter::value(bool v)
     return *this;
 }
 
+JsonWriter &
+JsonWriter::nullValue()
+{
+    append("null");
+    return *this;
+}
+
 std::string
 JsonWriter::str() const
 {

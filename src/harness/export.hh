@@ -76,6 +76,9 @@ class JsonWriter
     JsonWriter &value(int v);
     JsonWriter &value(bool v);
 
+    /** Explicit null (e.g. "no trace provenance"). */
+    JsonWriter &nullValue();
+
     /** Shorthand for key(k).value(v). */
     template <typename T>
     JsonWriter &

@@ -29,6 +29,12 @@ Runner::mixKey(const std::vector<WorkloadDef> &mix) const
     std::string key;
     for (const auto &w : mix) {
         key += w.name;
+        // A file-backed workload is a distinct experiment from the
+        // generator of the same name; don't share baselines.
+        if (!w.traceFile.empty()) {
+            key += '@';
+            key += w.traceFile;
+        }
         key += '|';
     }
     return key;
@@ -41,12 +47,12 @@ Runner::execute(const std::vector<WorkloadDef> &mix, const PfSpec &pf)
     sys_cfg.numCores = static_cast<uint32_t>(mix.size());
     System sys(sys_cfg);
 
-    std::vector<VectorTrace> traces;
+    std::vector<std::unique_ptr<TraceSource>> traces;
     traces.reserve(mix.size());
     for (const auto &w : mix)
-        traces.push_back(w.make());
+        traces.push_back(w.open());
     for (uint32_t c = 0; c < sys.numCores(); ++c)
-        sys.setTrace(c, &traces[c]);
+        sys.setTrace(c, traces[c].get());
 
     for (uint32_t c = 0; c < sys.numCores(); ++c) {
         sys.setL1Prefetcher(c, makePrefetcher(pf.l1));

@@ -5,6 +5,12 @@
  * mirrors what matters in a ChampSim data-access trace: a PC, an optional
  * memory operand, and front-end stall events (standing in for branch
  * mispredictions / instruction misses, see DESIGN.md).
+ *
+ * Sources come in two flavors: the in-memory VectorTrace below (what
+ * the generators emit) and the streaming FileTrace in
+ * tracing/trace_io.hh, which replays a recorded .gzt file — both are
+ * interchangeable behind TraceSource, and a recorded replay is
+ * bit-identical to the generator run it was recorded from.
  */
 
 #ifndef GAZE_SIM_TRACE_HH
@@ -36,6 +42,16 @@ struct TraceRecord
     Addr vaddr = 0;
     TraceOp op = TraceOp::NonMem;
     uint16_t stallCycles = 0;
+
+    /** Field-wise equality (record/replay round-trip checks). */
+    bool
+    operator==(const TraceRecord &o) const
+    {
+        return pc == o.pc && vaddr == o.vaddr && op == o.op
+               && stallCycles == o.stallCycles;
+    }
+
+    bool operator!=(const TraceRecord &o) const { return !(*this == o); }
 };
 
 /**

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The .gzt on-disk trace format, version 1.
+ *
+ * A .gzt file is a fixed little-endian header followed by a
+ * varint-delta-encoded payload of TraceRecords:
+ *
+ *   offset  size  field
+ *   0       4     magic "GZTF"
+ *   4       4     format version (currently 1)
+ *   8       8     record count
+ *   16      8     payload size in bytes
+ *   24      8     FNV-1a 64 checksum of the payload bytes
+ *   32      4     meta length M
+ *   36      M     meta string (workload provenance, UTF-8, no NUL)
+ *   36+M    ...   payload
+ *
+ * Each payload record is:
+ *
+ *   tag byte:  bits 0-2  TraceOp
+ *              bit  3    stall field present (stallCycles != 0)
+ *              bit  4    vaddr field present (vaddr != 0)
+ *              bits 5-7  reserved, must be zero
+ *   varint     zigzag(pc - previous pc)
+ *   [varint    zigzag(vaddr - previous present vaddr)]   if bit 4
+ *   [varint    stallCycles]                              if bit 3
+ *
+ * Deltas start from zero at the beginning of the payload; the vaddr
+ * predictor only advances on records that carry a vaddr, so NonMem
+ * records interleaved with a stream do not break its deltas. Both the
+ * writer and the reader live in trace_io.hh; this header only defines
+ * the layout constants and the primitive varint/zigzag/checksum codecs
+ * shared between them (and unit-tested directly).
+ */
+
+#ifndef GAZE_TRACING_TRACE_FORMAT_HH
+#define GAZE_TRACING_TRACE_FORMAT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gaze
+{
+
+/** "GZTF" in little-endian byte order. */
+constexpr uint32_t kGztMagic = 0x46545A47u;
+
+/** Current .gzt format version. */
+constexpr uint32_t kGztVersion = 1;
+
+/** Fixed header bytes before the variable-length meta string. */
+constexpr size_t kGztFixedHeaderBytes = 36;
+
+/** Longest LEB128 encoding of a uint64_t. */
+constexpr size_t kMaxVarintBytes = 10;
+
+/** Tag-byte layout. */
+constexpr uint8_t kGztOpMask = 0x07;
+constexpr uint8_t kGztHasStall = 0x08;
+constexpr uint8_t kGztHasVaddr = 0x10;
+constexpr uint8_t kGztReservedMask = 0xE0;
+
+/** Map a signed delta onto small unsigned values (protobuf zigzag). */
+inline uint64_t
+zigzagEncode(int64_t v)
+{
+    return (static_cast<uint64_t>(v) << 1)
+           ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t
+zigzagDecode(uint64_t v)
+{
+    return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/**
+ * Append the LEB128 encoding of @p v to @p out; returns bytes written.
+ * @p out must have room for kMaxVarintBytes.
+ */
+inline size_t
+putVarint(uint8_t *out, uint64_t v)
+{
+    size_t n = 0;
+    while (v >= 0x80) {
+        out[n++] = static_cast<uint8_t>(v) | 0x80;
+        v >>= 7;
+    }
+    out[n++] = static_cast<uint8_t>(v);
+    return n;
+}
+
+/**
+ * Decode a LEB128 varint from [@p in, @p end). Returns bytes consumed,
+ * or 0 when the buffer ends mid-varint or the encoding overflows 64
+ * bits (both mean a corrupt or truncated payload).
+ */
+inline size_t
+getVarint(const uint8_t *in, const uint8_t *end, uint64_t *v)
+{
+    uint64_t result = 0;
+    size_t n = 0;
+    while (in + n < end && n < kMaxVarintBytes) {
+        uint8_t byte = in[n];
+        // The 10th byte holds value bit 63 only; anything above
+        // overflows uint64 and must be rejected, not shifted away.
+        if (n == kMaxVarintBytes - 1 && byte > 1)
+            return 0;
+        result |= uint64_t(byte & 0x7F) << (7 * n);
+        ++n;
+        if (!(byte & 0x80)) {
+            *v = result;
+            return n;
+        }
+    }
+    return 0;
+}
+
+/** Streaming FNV-1a 64 over the payload bytes. */
+class Fnv1a
+{
+  public:
+    void
+    update(const uint8_t *data, size_t len)
+    {
+        for (size_t i = 0; i < len; ++i) {
+            state ^= data[i];
+            state *= 0x100000001b3ULL;
+        }
+    }
+
+    uint64_t digest() const { return state; }
+
+  private:
+    uint64_t state = 0xcbf29ce484222325ULL;
+};
+
+} // namespace gaze
+
+#endif // GAZE_TRACING_TRACE_FORMAT_HH

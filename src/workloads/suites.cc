@@ -3,11 +3,21 @@
 #include <cstdlib>
 
 #include "common/log.hh"
+#include "tracing/trace_io.hh"
 #include "workloads/generators.hh"
 #include "workloads/graph.hh"
 
 namespace gaze
 {
+
+std::unique_ptr<TraceSource>
+WorkloadDef::open() const
+{
+    if (!traceFile.empty())
+        return std::make_unique<FileTrace>(traceFile);
+    GAZE_ASSERT(make, "workload '", name, "' has no generator");
+    return std::make_unique<VectorTrace>(make());
+}
 
 double
 simScale()
@@ -281,6 +291,25 @@ findWorkload(const std::string &name)
         if (w.name == name)
             return w;
     GAZE_FATAL("unknown workload '", name, "'");
+}
+
+std::vector<WorkloadDef>
+withTraceDir(std::vector<WorkloadDef> workloads, const std::string &dir)
+{
+    GAZE_ASSERT(!dir.empty(), "empty trace directory");
+    std::string base = dir;
+    if (base.back() != '/')
+        base += '/';
+    for (auto &w : workloads) {
+        w.traceFile = base + traceFileName(w.name);
+        std::string error;
+        if (!probeTraceFile(w.traceFile, nullptr, &error))
+            GAZE_FATAL("workload '", w.name, "' has no usable trace in '",
+                       dir, "': ", error,
+                       " (record one with: gaze_trace record --workloads=",
+                       w.name, " --out-dir=", dir, ")");
+    }
+    return workloads;
 }
 
 const std::vector<std::string> &

@@ -13,6 +13,7 @@
 #define GAZE_WORKLOADS_SUITES_HH
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,13 +22,33 @@
 namespace gaze
 {
 
-/** A named workload belonging to a suite. */
+/**
+ * A named workload belonging to a suite. A workload resolves to a
+ * TraceSource one of two ways: regenerated in memory by @p make
+ * (the default), or replayed from a recorded .gzt file when
+ * @p traceFile is set (gaze_sim --trace-dir, see tracing/trace_io.hh).
+ */
 struct WorkloadDef
 {
+    WorkloadDef() = default;
+
+    WorkloadDef(std::string name_, std::string suite_,
+                std::function<VectorTrace()> make_)
+        : name(std::move(name_)), suite(std::move(suite_)),
+          make(std::move(make_))
+    {
+    }
+
     std::string name;  ///< e.g. "fotonik3d_s"
     std::string suite; ///< "spec06" | "spec17" | "ligra" | "parsec"
                        ///< | "cloud" | "gap" | "qmm_server" | "qmm_client"
     std::function<VectorTrace()> make;
+
+    /** When non-empty, open() replays this .gzt instead of make(). */
+    std::string traceFile;
+
+    /** The trace this workload runs from (generator or file). */
+    std::unique_ptr<TraceSource> open() const;
 };
 
 /** Global simulation scale from GAZE_SIM_SCALE (default 1.0). */
@@ -44,6 +65,14 @@ std::vector<WorkloadDef> suiteWorkloads(const std::string &suite);
 
 /** Find a workload by exact name (fatal if missing). */
 const WorkloadDef &findWorkload(const std::string &name);
+
+/**
+ * Rebind each workload to "<dir>/<name>.gzt". Every file must exist
+ * with a readable header (fatal otherwise, naming the offender) so a
+ * bad --trace-dir fails before any simulation time is spent.
+ */
+std::vector<WorkloadDef> withTraceDir(std::vector<WorkloadDef> workloads,
+                                      const std::string &dir);
 
 /** The five main-evaluation suites of Fig. 6-8. */
 const std::vector<std::string> &mainSuites();

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Driver argument-parsing tests for both CLIs: happy-path expansion of
+ * suites/workloads/prefetchers, and the fatal error paths — unknown
+ * flags, bad suite/workload/prefetcher names, junk numeric values,
+ * malformed --trace-dir — which must die with a diagnostic naming the
+ * offending argument, never run a matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "driver/cli.hh"
+#include "tracing/trace_io.hh"
+#include "workloads/suites.hh"
+
+namespace gaze
+{
+namespace
+{
+
+using Args = std::vector<std::string>;
+
+// ---- gaze_sim: happy paths ------------------------------------------
+
+TEST(GazeSimCli, DefaultsExpandMainSuites)
+{
+    GazeSimOptions opt = parseGazeSimArgs({});
+    EXPECT_FALSE(opt.showHelp);
+    EXPECT_FALSE(opt.showList);
+    EXPECT_EQ(opt.spec.prefetchers,
+              (std::vector<std::string>{"ip_stride", "gaze"}));
+    EXPECT_EQ(opt.spec.level, "l1");
+    EXPECT_EQ(opt.spec.cores, 1u);
+    EXPECT_TRUE(opt.spec.traceDir.empty());
+
+    size_t main_count = 0;
+    for (const auto &s : mainSuites())
+        main_count += suiteWorkloads(s).size();
+    EXPECT_EQ(opt.spec.workloads.size(), main_count);
+    for (const auto &w : opt.spec.workloads)
+        EXPECT_TRUE(w.traceFile.empty());
+}
+
+TEST(GazeSimCli, ExplicitFlagsParse)
+{
+    GazeSimOptions opt = parseGazeSimArgs(
+        {"--prefetchers=gaze,pmp", "--workloads=mcf,leslie3d",
+         "--level=l2", "--cores=4", "--threads=8", "--warmup=1234",
+         "--sim=5678", "--name=exp1", "--out=/tmp/x.json", "--quiet"});
+    EXPECT_EQ(opt.spec.prefetchers,
+              (std::vector<std::string>{"gaze", "pmp"}));
+    ASSERT_EQ(opt.spec.workloads.size(), 2u);
+    EXPECT_EQ(opt.spec.workloads[0].name, "mcf");
+    EXPECT_EQ(opt.spec.workloads[1].name, "leslie3d");
+    EXPECT_EQ(opt.spec.level, "l2");
+    EXPECT_EQ(opt.spec.cores, 4u);
+    EXPECT_EQ(opt.spec.threads, 8u);
+    EXPECT_EQ(opt.spec.run.warmupInstr, 1234u);
+    EXPECT_EQ(opt.spec.run.simInstr, 5678u);
+    EXPECT_EQ(opt.spec.name, "exp1");
+    EXPECT_EQ(opt.outPath, "/tmp/x.json");
+    EXPECT_FALSE(opt.spec.verbose);
+}
+
+TEST(GazeSimCli, WorkloadsOverrideSuites)
+{
+    GazeSimOptions opt =
+        parseGazeSimArgs({"--suites=ligra", "--workloads=mcf"});
+    ASSERT_EQ(opt.spec.workloads.size(), 1u);
+    EXPECT_EQ(opt.spec.workloads[0].name, "mcf");
+}
+
+TEST(GazeSimCli, HelpAndListShortCircuit)
+{
+    EXPECT_TRUE(parseGazeSimArgs({"--help"}).showHelp);
+    EXPECT_TRUE(parseGazeSimArgs({"-h"}).showHelp);
+    EXPECT_TRUE(parseGazeSimArgs({"--list"}).showList);
+    // Junk after --help is never reached; parse returns early.
+    EXPECT_TRUE(parseGazeSimArgs({"--help", "--bogus"}).showHelp);
+}
+
+TEST(GazeSimCli, TraceDirRebindsWorkloads)
+{
+    std::string dir = testing::TempDir() + "cli_traces";
+    ASSERT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+    const WorkloadDef &w = findWorkload("mcf");
+    VectorTrace trace = w.make();
+    TraceWriter writer(dir + "/" + traceFileName("mcf"), "t");
+    writer.appendAll(trace.data());
+    writer.finish();
+
+    GazeSimOptions opt = parseGazeSimArgs(
+        {"--workloads=mcf", "--trace-dir=" + dir});
+    EXPECT_EQ(opt.spec.traceDir, dir);
+    ASSERT_EQ(opt.spec.workloads.size(), 1u);
+    EXPECT_EQ(opt.spec.workloads[0].traceFile,
+              dir + "/" + traceFileName("mcf"));
+}
+
+// ---- gaze_sim: fatal error paths ------------------------------------
+
+TEST(GazeSimCliDeath, UnknownFlag)
+{
+    EXPECT_DEATH(parseGazeSimArgs({"--frobnicate"}),
+                 "unknown option '--frobnicate'");
+    EXPECT_DEATH(parseGazeSimArgs({"positional"}),
+                 "unknown option 'positional'");
+}
+
+TEST(GazeSimCliDeath, BadWorkloadAndSuiteNames)
+{
+    EXPECT_DEATH(parseGazeSimArgs({"--workloads=not_a_workload"}),
+                 "unknown workload 'not_a_workload'");
+    EXPECT_DEATH(parseGazeSimArgs({"--suites=not_a_suite"}),
+                 "unknown suite 'not_a_suite'");
+    EXPECT_DEATH(parseGazeSimArgs({"--workloads="}),
+                 "at least one name");
+    EXPECT_DEATH(parseGazeSimArgs({"--suites="}),
+                 "at least one suite");
+}
+
+TEST(GazeSimCliDeath, BadPrefetcherSpec)
+{
+    EXPECT_DEATH(parseGazeSimArgs({"--prefetchers=warp_drive"}),
+                 "warp_drive");
+    EXPECT_DEATH(parseGazeSimArgs({"--prefetchers="}),
+                 "at least one spec");
+}
+
+TEST(GazeSimCliDeath, BadNumbers)
+{
+    EXPECT_DEATH(parseGazeSimArgs({"--cores=zero"}),
+                 "bad numeric value for --cores");
+    EXPECT_DEATH(parseGazeSimArgs({"--cores=-1"}),
+                 "bad numeric value for --cores");
+    EXPECT_DEATH(parseGazeSimArgs({"--cores=10000"}),
+                 "--cores out of range");
+    EXPECT_DEATH(parseGazeSimArgs({"--warmup=1e9"}),
+                 "bad numeric value for --warmup");
+}
+
+TEST(GazeSimCliDeath, MalformedTraceDir)
+{
+    EXPECT_DEATH(parseGazeSimArgs({"--trace-dir="}),
+                 "--trace-dir needs a directory");
+    // Missing directory: every workload must name its absent file and
+    // the gaze_trace command that would create it.
+    EXPECT_DEATH(
+        parseGazeSimArgs(
+            {"--workloads=mcf", "--trace-dir=/nonexistent_dir_xyz"}),
+        "no usable trace");
+    // A directory that exists but holds no .gzt for the workload.
+    std::string empty_dir = testing::TempDir() + "cli_empty";
+    ASSERT_EQ(std::system(("mkdir -p " + empty_dir).c_str()), 0);
+    EXPECT_DEATH(parseGazeSimArgs({"--workloads=mcf",
+                                   "--trace-dir=" + empty_dir}),
+                 "gaze_trace record --workloads=mcf");
+}
+
+// ---- gaze_trace -----------------------------------------------------
+
+TEST(GazeTraceCli, HelpByDefault)
+{
+    EXPECT_EQ(parseGazeTraceArgs({}).command,
+              GazeTraceOptions::Command::Help);
+    EXPECT_EQ(parseGazeTraceArgs({"--help"}).command,
+              GazeTraceOptions::Command::Help);
+    EXPECT_EQ(parseGazeTraceArgs({"help"}).command,
+              GazeTraceOptions::Command::Help);
+}
+
+TEST(GazeTraceCli, RecordExpandsWorkloads)
+{
+    GazeTraceOptions opt = parseGazeTraceArgs(
+        {"record", "--workloads=mcf,leslie3d", "--out-dir=/tmp/t"});
+    EXPECT_EQ(opt.command, GazeTraceOptions::Command::Record);
+    ASSERT_EQ(opt.workloads.size(), 2u);
+    EXPECT_EQ(opt.workloads[0].name, "mcf");
+    EXPECT_EQ(opt.outDir, "/tmp/t");
+
+    GazeTraceOptions by_suite =
+        parseGazeTraceArgs({"record", "--suites=parsec"});
+    EXPECT_EQ(by_suite.workloads.size(),
+              suiteWorkloads("parsec").size());
+    EXPECT_EQ(by_suite.outDir, ".");
+
+    // Default: one file per main-evaluation-suite workload.
+    GazeTraceOptions all = parseGazeTraceArgs({"record"});
+    size_t main_count = 0;
+    for (const auto &s : mainSuites())
+        main_count += suiteWorkloads(s).size();
+    EXPECT_EQ(all.workloads.size(), main_count);
+}
+
+TEST(GazeTraceCli, InfoAndValidateCollectFiles)
+{
+    GazeTraceOptions info =
+        parseGazeTraceArgs({"info", "a.gzt", "b.gzt"});
+    EXPECT_EQ(info.command, GazeTraceOptions::Command::Info);
+    EXPECT_EQ(info.files, (std::vector<std::string>{"a.gzt", "b.gzt"}));
+
+    GazeTraceOptions val = parseGazeTraceArgs({"validate", "c.gzt"});
+    EXPECT_EQ(val.command, GazeTraceOptions::Command::Validate);
+    EXPECT_EQ(val.files, (std::vector<std::string>{"c.gzt"}));
+}
+
+TEST(GazeTraceCliDeath, BadCommandsAndOperands)
+{
+    EXPECT_DEATH(parseGazeTraceArgs({"replay"}),
+                 "unknown gaze_trace command 'replay'");
+    EXPECT_DEATH(parseGazeTraceArgs({"record", "--bogus=1"}),
+                 "unknown record option");
+    EXPECT_DEATH(parseGazeTraceArgs({"record", "--out-dir="}),
+                 "--out-dir needs a directory");
+    EXPECT_DEATH(parseGazeTraceArgs({"record", "--workloads=nope"}),
+                 "unknown workload 'nope'");
+    EXPECT_DEATH(parseGazeTraceArgs({"info"}),
+                 "needs at least one .gzt file");
+    EXPECT_DEATH(parseGazeTraceArgs({"validate", "--bogus"}),
+                 "unknown validate option");
+    // Single-dash typos are flags, not file names.
+    EXPECT_DEATH(parseGazeTraceArgs({"info", "-h"}),
+                 "unknown info option '-h'");
+}
+
+} // namespace
+} // namespace gaze

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Golden-metrics regression suite. Records a small fixed-seed trace
+ * for one workload per main-evaluation suite, replays each through
+ * gaze plus two baseline prefetchers, and pins
+ * speedup/accuracy/coverage/IPC against checked-in golden values so a
+ * refactor cannot silently shift results. Also asserts the core
+ * acceptance property of the trace subsystem: a recorded replay
+ * produces metrics IDENTICAL (bitwise) to the in-memory generator run
+ * it was recorded from.
+ *
+ * The simulation scale is pinned via GAZE_SIM_SCALE before any
+ * registry call, so the goldens are independent of the environment.
+ * To regenerate after an intentional behavior change, run this binary
+ * and copy the "golden table" block it prints on failure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "driver/driver.hh"
+#include "harness/runner.hh"
+#include "tracing/trace_io.hh"
+#include "workloads/suites.hh"
+
+namespace gaze
+{
+namespace
+{
+
+// Pin the scale before anything in this process can call simScale():
+// golden values depend on trace lengths. 0.02 keeps every trace at
+// the 10-12k record floor, small enough for a tier-1 test.
+const bool kScalePinned = [] {
+    setenv("GAZE_SIM_SCALE", "0.02", 1);
+    return true;
+}();
+
+/** One workload per main suite (kScalePinned keeps them small). */
+const std::vector<std::string> &
+goldenWorkloads()
+{
+    static const std::vector<std::string> names = {
+        "leslie3d",    // spec06: dense streaming
+        "fotonik3d_s", // spec17: recurring footprints w/ conflicts
+        "BFS-17",      // ligra: graph compute (frontier + gathers)
+        "canneal",     // parsec: pointer chasing
+        "classification-p2c0", // cloud: irregular, code-correlated
+    };
+    return names;
+}
+
+/** gaze + two baselines, as the satellite task specifies. */
+const std::vector<std::string> &
+goldenPrefetchers()
+{
+    static const std::vector<std::string> names = {"gaze", "ip_stride",
+                                                   "sms"};
+    return names;
+}
+
+RunConfig
+goldenConfig()
+{
+    RunConfig cfg;
+    cfg.warmupInstr = 2000;
+    cfg.simInstr = 8000;
+    return cfg;
+}
+
+/** Record every golden workload into @p dir; returns file-backed defs. */
+std::vector<WorkloadDef>
+recordGoldenTraces(const std::string &dir)
+{
+    EXPECT_TRUE(kScalePinned);
+    std::vector<WorkloadDef> defs;
+    for (const auto &name : goldenWorkloads())
+        defs.push_back(findWorkload(name));
+    for (const auto &w : defs) {
+        std::string path = dir + "/" + traceFileName(w.name);
+        VectorTrace trace = w.make();
+        TraceWriter writer(path, "workload=" + w.name);
+        writer.appendAll(trace.data());
+        writer.finish();
+    }
+    return withTraceDir(defs, dir);
+}
+
+std::string
+goldenDir()
+{
+    std::string dir = testing::TempDir() + "golden_traces";
+    [[maybe_unused]] int rc = std::system(("mkdir -p " + dir).c_str());
+    return dir;
+}
+
+// ---- golden values --------------------------------------------------
+
+struct Golden
+{
+    const char *workload;
+    const char *prefetcher;
+    double speedup;
+    double accuracy;
+    double coverage;
+    double ipc;
+};
+
+// Regenerate by running this test binary and copying the printed
+// table. Values are deterministic (fixed seeds, fixed scale); the
+// tolerances below only absorb cross-toolchain floating-point drift.
+const Golden kGolden[] = {
+    {"leslie3d", "gaze", 1.027240, 1.000000, 0.048193, 0.798244},
+    {"leslie3d", "ip_stride", 1.877279, 0.881720, 0.987952, 1.458789},
+    {"leslie3d", "sms", 1.000000, 0.000000, 0.000000, 0.777076},
+    {"fotonik3d_s", "gaze", 1.052457, 0.907143, 0.470149, 0.491642},
+    {"fotonik3d_s", "ip_stride", 1.000000, 0.000000, 0.000000,
+     0.467138},
+    {"fotonik3d_s", "sms", 0.935583, 0.509579, 0.244403, 0.437046},
+    {"BFS-17", "gaze", 1.026827, 0.250000, 0.035237, 0.197036},
+    {"BFS-17", "ip_stride", 1.021896, 0.607843, 0.041920, 0.196089},
+    {"BFS-17", "sms", 0.969513, 0.049123, 0.013973, 0.186038},
+    {"canneal", "gaze", 1.000000, 0.000000, 0.000000, 0.030865},
+    {"canneal", "ip_stride", 1.000000, 0.000000, 0.000000, 0.030865},
+    {"canneal", "sms", 0.998667, 0.000000, 0.000000, 0.030824},
+    {"classification-p2c0", "gaze", 1.003975, 0.809524, 0.114478,
+     0.757312},
+    {"classification-p2c0", "ip_stride", 1.000000, 0.000000, 0.000000,
+     0.754313},
+    {"classification-p2c0", "sms", 1.000000, 0.000000, 0.000000,
+     0.754313},
+};
+
+constexpr double kRelTol = 0.02;  ///< speedup/ipc: 2% relative
+constexpr double kAbsTol = 0.02;  ///< accuracy/coverage: absolute
+
+TEST(GoldenMetrics, RecordedTracesPinResults)
+{
+    std::vector<WorkloadDef> defs = recordGoldenTraces(goldenDir());
+    Runner runner(goldenConfig());
+
+    // Measure everything first so a failure prints the full
+    // replacement table, not just the first bad cell.
+    struct Row
+    {
+        std::string workload, prefetcher;
+        PrefetchMetrics m;
+        double ipc;
+    };
+    std::vector<Row> rows;
+    for (const auto &w : defs) {
+        for (const auto &pf_name : goldenPrefetchers()) {
+            PfSpec pf;
+            pf.l1 = pf_name;
+            Row r;
+            r.workload = w.name;
+            r.prefetcher = pf_name;
+            const RunResult &base = runner.baseline(w);
+            RunResult res = runner.run(w, pf);
+            r.m = computeMetrics(base, res);
+            r.ipc = res.ipc();
+            rows.push_back(std::move(r));
+        }
+    }
+
+    ASSERT_EQ(rows.size(), std::size(kGolden));
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        const Golden &g = kGolden[i];
+        ASSERT_EQ(r.workload, g.workload) << "table order drifted";
+        ASSERT_EQ(r.prefetcher, g.prefetcher) << "table order drifted";
+
+        EXPECT_NEAR(r.m.speedup, g.speedup, g.speedup * kRelTol)
+            << r.workload << " x " << r.prefetcher;
+        EXPECT_NEAR(r.m.accuracy, g.accuracy, kAbsTol)
+            << r.workload << " x " << r.prefetcher;
+        EXPECT_NEAR(r.m.coverage, g.coverage, kAbsTol)
+            << r.workload << " x " << r.prefetcher;
+        EXPECT_NEAR(r.ipc, g.ipc, g.ipc * kRelTol)
+            << r.workload << " x " << r.prefetcher;
+    }
+
+    if (testing::Test::HasNonfatalFailure()) {
+        std::printf("// golden table (paste into kGolden):\n");
+        for (const auto &r : rows)
+            std::printf("    {\"%s\", \"%s\", %.6f, %.6f, %.6f, "
+                        "%.6f},\n",
+                        r.workload.c_str(), r.prefetcher.c_str(),
+                        r.m.speedup, r.m.accuracy, r.m.coverage, r.ipc);
+    }
+}
+
+// ---- replay identity (the tentpole's acceptance criterion) ----------
+
+TEST(GoldenMetrics, FileReplayIdenticalToGeneratorRun)
+{
+    std::string dir = goldenDir();
+    std::vector<WorkloadDef> fileDefs = recordGoldenTraces(dir);
+
+    MatrixSpec genSpec;
+    genSpec.prefetchers = {"gaze", "ip_stride"};
+    for (const auto &name : goldenWorkloads())
+        genSpec.workloads.push_back(findWorkload(name));
+    genSpec.run = goldenConfig();
+    genSpec.threads = 4;
+    genSpec.name = "golden_gen";
+
+    MatrixSpec fileSpec = genSpec;
+    fileSpec.workloads = fileDefs;
+    fileSpec.traceDir = dir;
+    fileSpec.name = "golden_file";
+
+    MatrixResult gen = runMatrix(genSpec);
+    MatrixResult file = runMatrix(fileSpec);
+
+    ASSERT_EQ(gen.cells.size(), file.cells.size());
+    for (size_t i = 0; i < gen.cells.size(); ++i) {
+        const CellOutcome &a = gen.cells[i];
+        const CellOutcome &b = file.cells[i];
+        ASSERT_EQ(a.workload, b.workload);
+        ASSERT_EQ(a.prefetcher, b.prefetcher);
+        // Bitwise identity, not tolerance: the replay feeds the exact
+        // same record stream into a deterministic simulator.
+        EXPECT_EQ(a.ipc, b.ipc) << a.workload << " x " << a.prefetcher;
+        EXPECT_EQ(a.baseIpc, b.baseIpc) << a.workload;
+        EXPECT_EQ(a.metrics.speedup, b.metrics.speedup) << a.workload;
+        EXPECT_EQ(a.metrics.accuracy, b.metrics.accuracy) << a.workload;
+        EXPECT_EQ(a.metrics.coverage, b.metrics.coverage) << a.workload;
+        EXPECT_EQ(a.metrics.lateFraction, b.metrics.lateFraction)
+            << a.workload;
+        EXPECT_EQ(a.metrics.pfIssued, b.metrics.pfIssued) << a.workload;
+        EXPECT_EQ(a.metrics.pfUseful, b.metrics.pfUseful) << a.workload;
+        EXPECT_EQ(a.metrics.llcMissPf, b.metrics.llcMissPf)
+            << a.workload;
+    }
+}
+
+} // namespace
+} // namespace gaze
