@@ -4,28 +4,57 @@
 # Builds everything, runs the tier-1-labeled CTest set (the "slow"
 # label — long paper-claim sweeps — is what full `ctest` adds on top,
 # which is the exact tier-1 verify line from ROADMAP.md), then smokes
-# the trace record -> replay path end to end. set -e plus
-# --stop-on-failure makes every stage fail fast on the first error.
+# the trace record -> replay path and the campaign cache end to end.
+# set -e plus --stop-on-failure makes every stage fail fast on the
+# first error.
+#
+#   ./scripts/check.sh             # normal gate, build/
+#   ./scripts/check.sh --sanitize  # same gate under ASan+UBSan, in
+#                                  # build-sanitize/ (slower; run on
+#                                  # memory-touching changes)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-cmake -B build -S .
-cmake --build build -j
+BUILD_DIR=build
+CMAKE_EXTRA=""
+for arg in "$@"; do
+    case "$arg" in
+      --sanitize)
+        BUILD_DIR=build-sanitize
+        CMAKE_EXTRA="-DGAZE_SANITIZE=ON"
+        ;;
+      *)
+        echo "usage: $0 [--sanitize]" >&2
+        exit 2
+        ;;
+    esac
+done
 
-cd build
+# $CMAKE_EXTRA is deliberately unquoted: empty means no extra flag.
+# shellcheck disable=SC2086
+cmake -B "$BUILD_DIR" -S . $CMAKE_EXTRA
+cmake --build "$BUILD_DIR" -j
+
+cd "$BUILD_DIR"
 ctest -L tier1 --output-on-failure --stop-on-failure -j
 
 # Trace subsystem smoke: record two workloads, validate the files,
-# replay them through the suite runner.
+# inspect them as JSON, replay them through the suite runner.
 SMOKE_DIR=check_traces
 rm -rf "$SMOKE_DIR"
 GAZE_SIM_SCALE=0.02 ./src/gaze_trace record \
     --workloads=leslie3d,mcf --out-dir="$SMOKE_DIR"
 ./src/gaze_trace validate "$SMOKE_DIR"/leslie3d.gzt "$SMOKE_DIR"/mcf.gzt
+./src/gaze_trace info --json "$SMOKE_DIR"/leslie3d.gzt > /dev/null
 GAZE_SIM_SCALE=0.02 ./src/gaze_sim --quiet \
     --prefetchers=gaze --workloads=leslie3d,mcf \
     --trace-dir="$SMOKE_DIR" --warmup=2000 --sim=8000 \
     --out="$SMOKE_DIR"/BENCH_check.json
+
+# Campaign cache smoke: 2-cell campaign twice (second run must be
+# 100% cache hits, byte-identical report) + sharded equivalence.
+GAZE_SIM_SCALE=0.02 sh ../scripts/campaign_smoke.sh \
+    ./src/gaze_campaign check_campaign
 
 echo "check.sh: all stages passed"

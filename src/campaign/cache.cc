@@ -1,0 +1,170 @@
+#include "campaign/cache.hh"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+
+#include "campaign/json.hh"
+#include "common/log.hh"
+#include "harness/cell_key.hh"
+#include "harness/export.hh"
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace gaze
+{
+namespace
+{
+
+/**
+ * Read a non-negative integer member into @p out. False on a missing
+ * or non-count value — like every other defect in a cell record,
+ * that must read as a miss (recompute), never abort the campaign.
+ */
+bool
+countField(const JsonValue &obj, const char *key, uint64_t *out)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v || !v->isNumber())
+        return false;
+    double n = v->asNumber();
+    // Reject above 2^53 before the cast: the cast itself is UB for
+    // out-of-range doubles, and such values cannot round-trip anyway.
+    if (!(n >= 0) || n > 9.007199254740992e15)
+        return false;
+    uint64_t u = static_cast<uint64_t>(n);
+    if (double(u) != n)
+        return false;
+    *out = u;
+    return true;
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string dir_)
+    : dir(std::move(dir_))
+{
+    GAZE_ASSERT(!dir.empty(), "result cache needs a directory");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        GAZE_FATAL("cannot create cache directory '", dir,
+                   "': ", ec.message());
+}
+
+std::string
+ResultCache::path(uint64_t hash) const
+{
+    return dir + "/" + cellHashHex(hash) + ".json";
+}
+
+bool
+ResultCache::lookup(uint64_t hash, const std::string &key,
+                    CellRecord *out, std::string *why) const
+{
+    std::string file = path(hash);
+    std::ifstream in(file, std::ios::binary);
+    if (!in)
+        return false; // plain miss: not yet computed
+
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+
+    JsonValue doc;
+    std::string error;
+    if (!parseJson(text, &doc, &error) || !doc.isObject()) {
+        if (why)
+            *why = file + ": unparseable cell record ("
+                   + (error.empty() ? "not an object" : error)
+                   + "), recomputing";
+        return false;
+    }
+
+    const JsonValue *schema = doc.find("schema");
+    if (!schema || !schema->isNumber()
+        || schema->asNumber() != double(kCellSchemaVersion)) {
+        if (why)
+            *why = file + ": stale schema, recomputing";
+        return false;
+    }
+    const JsonValue *stored_key = doc.find("key");
+    if (!stored_key || !stored_key->isString()
+        || stored_key->asString() != key) {
+        if (why)
+            *why = file + ": canonical-key mismatch (hash collision?), "
+                   "recomputing";
+        return false;
+    }
+
+    const JsonValue *ipc = doc.find("ipc");
+    const JsonValue *seconds = doc.find("seconds");
+    RunSummary summary;
+    if (!ipc || !ipc->isNumber() || !seconds || !seconds->isNumber()
+        || !countField(doc, "pf_issued", &summary.pfIssued)
+        || !countField(doc, "pf_filled", &summary.pfFilled)
+        || !countField(doc, "pf_useful", &summary.pfUseful)
+        || !countField(doc, "pf_late", &summary.pfLate)
+        || !countField(doc, "llc_demand_miss",
+                       &summary.llcDemandMiss)) {
+        if (why)
+            *why = file + ": malformed cell record, recomputing";
+        return false;
+    }
+
+    out->key = key;
+    summary.ipc = ipc->asNumber();
+    out->summary = summary;
+    out->seconds = seconds->asNumber();
+    return true;
+}
+
+void
+ResultCache::store(uint64_t hash, const CellRecord &rec) const
+{
+    JsonWriter j;
+    j.beginObject();
+    j.field("schema", uint64_t(kCellSchemaVersion));
+    j.field("key", rec.key);
+    j.field("ipc", rec.summary.ipc);
+    j.field("pf_issued", rec.summary.pfIssued);
+    j.field("pf_filled", rec.summary.pfFilled);
+    j.field("pf_useful", rec.summary.pfUseful);
+    j.field("pf_late", rec.summary.pfLate);
+    j.field("llc_demand_miss", rec.summary.llcDemandMiss);
+    j.field("seconds", rec.seconds);
+    j.endObject();
+    std::string text = j.str();
+    text += '\n';
+
+    // Atomic publish: concurrent writers — sibling shards (distinct
+    // pids) or threads of one process (distinct counter values) —
+    // each write their own temp file; the rename makes whole files
+    // appear, never partial ones, and the last rename wins whole.
+    static std::atomic<uint64_t> storeCounter{0};
+    std::string final_path = path(hash);
+    std::string tmp_path =
+        final_path + ".tmp." + std::to_string(getpid()) + "."
+        + std::to_string(storeCounter.fetch_add(1));
+    {
+        std::ofstream out_file(tmp_path,
+                               std::ios::binary | std::ios::trunc);
+        if (!out_file)
+            GAZE_FATAL("cannot create cache file '", tmp_path, "'");
+        out_file.write(text.data(),
+                       static_cast<std::streamsize>(text.size()));
+        out_file.close();
+        if (!out_file)
+            GAZE_FATAL("write failed on cache file '", tmp_path, "'");
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, final_path, ec);
+    if (ec)
+        GAZE_FATAL("cannot publish cache file '", final_path,
+                   "': ", ec.message());
+}
+
+} // namespace gaze

@@ -1,0 +1,141 @@
+#include "campaign/engine.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "common/log.hh"
+#include "driver/thread_pool.hh"
+#include "harness/runner.hh"
+
+namespace gaze
+{
+namespace
+{
+
+/** One executable unit: a baseline or a prefetcher cell. */
+struct Job
+{
+    std::string label; ///< progress text, e.g. "gaze x mcf (1c)"
+    std::string key;
+    uint64_t hash = 0;
+    uint32_t cores = 1;
+    WorkloadDef workload;
+    PfSpec pf;
+};
+
+} // namespace
+
+CampaignRunStats
+runCampaign(const Campaign &campaign, ResultCache &cache,
+            const CampaignRunOptions &opt)
+{
+    GAZE_ASSERT(opt.shardCount >= 1, "shard count must be >= 1");
+    if (opt.shardIndex >= opt.shardCount)
+        GAZE_FATAL("shard index ", opt.shardIndex,
+                   " out of range (", opt.shardCount, " shards)");
+
+    auto start = std::chrono::steady_clock::now();
+
+    // Deterministic job order — baselines first (they are the jobs
+    // every comparison needs), then cells in expansion order, each
+    // hash at most once (a spec that lists the same workload or core
+    // count twice expands to duplicate cells; running both would race
+    // on one cache file). Shards partition this sequence round-robin,
+    // so every process derives the identical assignment from the spec
+    // alone — the dedup must happen before partitioning for that.
+    std::set<uint64_t> queued;
+    std::vector<Job> jobs;
+    jobs.reserve(campaign.baselines.size() + campaign.cells.size());
+    for (const auto &b : campaign.baselines) {
+        Job job;
+        job.label = "baseline x " + b.workload.name + " ("
+                    + std::to_string(b.cores) + "c)";
+        job.key = b.key;
+        job.hash = b.hash;
+        job.cores = b.cores;
+        job.workload = b.workload;
+        queued.insert(b.hash);
+        jobs.push_back(std::move(job));
+    }
+    for (const auto &cell : campaign.cells) {
+        if (!queued.insert(cell.hash).second)
+            continue;
+        Job job;
+        job.label = cell.pf.label() + " x " + cell.workload.name + " ("
+                    + std::to_string(cell.cores) + "c, " + cell.level
+                    + ")";
+        job.key = cell.key;
+        job.hash = cell.hash;
+        job.cores = cell.cores;
+        job.workload = cell.workload;
+        job.pf = cell.pf;
+        jobs.push_back(std::move(job));
+    }
+
+    CampaignRunStats stats;
+    std::vector<const Job *> toRun;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (uint64_t(i) % opt.shardCount != opt.shardIndex) {
+            ++stats.otherShards;
+            continue;
+        }
+        CellRecord cached;
+        std::string why;
+        if (cache.lookup(jobs[i].hash, jobs[i].key, &cached, &why)) {
+            ++stats.cacheHits;
+            continue;
+        }
+        if (!why.empty())
+            GAZE_WARN(why);
+        toRun.push_back(&jobs[i]);
+    }
+
+    std::atomic<uint64_t> executed{0};
+    std::mutex progressMtx;
+    size_t announced = 0;
+    auto progress = [&](const Job &job, double secs) {
+        if (!opt.verbose)
+            return;
+        std::unique_lock<std::mutex> lock(progressMtx);
+        ++announced;
+        std::fprintf(stderr, "[%zu/%zu] %s (%.1fs)\n", announced,
+                     toRun.size(), job.label.c_str(), secs);
+    };
+
+    stats.threadsUsed = resolvePoolThreads(opt.threads, toRun.size());
+    if (!toRun.empty()) {
+        ThreadPool pool(stats.threadsUsed);
+        for (const Job *job : toRun) {
+            pool.submit([&, job] {
+                auto t0 = std::chrono::steady_clock::now();
+                Runner runner(campaign.spec.run);
+                std::vector<WorkloadDef> mix(job->cores,
+                                             job->workload);
+                RunResult r = runner.runMix(mix, job->pf);
+
+                CellRecord rec;
+                rec.key = job->key;
+                rec.summary = summarize(r);
+                rec.seconds = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+                cache.store(job->hash, rec);
+                executed.fetch_add(1, std::memory_order_relaxed);
+                progress(*job, rec.seconds);
+            });
+        }
+        pool.wait();
+    }
+    stats.executed = executed.load();
+
+    stats.seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    return stats;
+}
+
+} // namespace gaze

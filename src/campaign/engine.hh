@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Campaign execution: take an expanded Campaign, skip every cell and
+ * baseline whose result is already in the ResultCache, and run the
+ * rest on the driver thread pool — optionally only this process's
+ * shard of them (--shard=i/n assigns jobs round-robin over the
+ * deterministic job order, so n processes partition the work with no
+ * coordination beyond the shared cache directory).
+ *
+ * Execution is resumable by construction: every finished simulation
+ * is atomically published to the cache before the run counts it, so
+ * killing a campaign at any point loses at most the in-flight cells,
+ * and rerunning the same spec recomputes only what is missing.
+ */
+
+#ifndef GAZE_CAMPAIGN_ENGINE_HH
+#define GAZE_CAMPAIGN_ENGINE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "campaign/cache.hh"
+#include "campaign/spec.hh"
+
+namespace gaze
+{
+
+/** Execution knobs for one campaign run. */
+struct CampaignRunOptions
+{
+    /** Round-robin shard this process executes (index < count). */
+    uint32_t shardIndex = 0;
+    uint32_t shardCount = 1;
+
+    /** Worker threads; 0 = hardware concurrency. */
+    uint32_t threads = 0;
+
+    /** Per-job progress lines on stderr. */
+    bool verbose = true;
+};
+
+/** What one run did (the cache-hit accounting the tests assert on). */
+struct CampaignRunStats
+{
+    uint64_t executed = 0;    ///< simulations actually run
+    uint64_t cacheHits = 0;   ///< jobs served from the cache
+    uint64_t otherShards = 0; ///< jobs left to sibling shards
+    double seconds = 0.0;     ///< wall time of this run
+    uint32_t threadsUsed = 0;
+
+    uint64_t total() const { return executed + cacheHits + otherShards; }
+};
+
+/**
+ * Execute the campaign's missing cells + baselines into @p cache.
+ * Fatal on invalid shard options; I/O failures inside workers are
+ * fatal (a campaign with an unwritable cache cannot make progress).
+ */
+CampaignRunStats runCampaign(const Campaign &campaign,
+                             ResultCache &cache,
+                             const CampaignRunOptions &opt);
+
+} // namespace gaze
+
+#endif // GAZE_CAMPAIGN_ENGINE_HH

@@ -55,11 +55,47 @@ const char *gazeTraceUsageText =
     "                         main-evaluation suites)\n"
     "    --out-dir=DIR        destination directory (default: .)\n"
     "  info FILE...      print header, provenance and size stats\n"
+    "    --json               machine-readable output: one JSON\n"
+    "                         document with record count, checksum,\n"
+    "                         per-op histogram and meta per file\n"
     "  validate FILE...  decode every record, verify count/checksum\n"
     "  --help            this text\n"
     "\n"
     "GAZE_SIM_SCALE scales generated trace lengths; the scale used at\n"
     "record time is stored in the file's meta string.\n";
+
+const char *gazeCampaignUsageText =
+    "usage: gaze_campaign <command> --spec=FILE [options]\n"
+    "\n"
+    "Runs declarative experiment campaigns with a content-addressed\n"
+    "result cache: every (config, prefetcher, workload) cell and\n"
+    "every shared no-prefetch baseline is simulated at most once,\n"
+    "persisted to the cache directory, and aggregated into a\n"
+    "BENCH_<name>.json / CSV report from the cache alone.\n"
+    "\n"
+    "commands:\n"
+    "  run       execute the spec's missing cells, then (when not\n"
+    "            sharded) aggregate and write the report\n"
+    "  report    aggregate from the cache only (all cells must be\n"
+    "            present; use after all shards finished)\n"
+    "  status    print how many cells are cached vs missing\n"
+    "\n"
+    "options:\n"
+    "  --spec=FILE        campaign spec (JSON; see README)\n"
+    "  --cache-dir=DIR    result cache (default: campaign_cache)\n"
+    "  --shard=I/N        run only every N-th job, offset I (I < N);\n"
+    "                     shards coordinate through the cache dir only\n"
+    "  --threads=N        worker threads (default: hardware)\n"
+    "  --out=FILE         report JSON path (default:\n"
+    "                     [$GAZE_RESULTS_DIR/]BENCH_<name>.json)\n"
+    "  --csv=FILE         also write the per-suite CSV here\n"
+    "  --compare=FILE     previous report JSON; appends a \"compare\"\n"
+    "                     section with per-suite speedup deltas\n"
+    "  --quiet            no per-cell progress on stderr\n"
+    "  --help             this text\n"
+    "\n"
+    "A killed run resumes cleanly: finished cells are published to\n"
+    "the cache atomically and are skipped on the next run.\n";
 
 /** Split "--key=value" (value empty when no '='). */
 void
@@ -267,6 +303,10 @@ parseGazeTraceArgs(const std::vector<std::string> &args)
         opt.command = cmd == "info" ? GazeTraceOptions::Command::Info
                                     : GazeTraceOptions::Command::Validate;
         for (const auto &arg : rest) {
+            if (cmd == "info" && arg == "--json") {
+                opt.jsonOutput = true;
+                continue;
+            }
             // Anything dash-prefixed is a flag typo, not a file name.
             if (!arg.empty() && arg[0] == '-')
                 GAZE_FATAL("unknown ", cmd, " option '", arg,
@@ -281,6 +321,91 @@ parseGazeTraceArgs(const std::vector<std::string> &args)
 
     GAZE_FATAL("unknown gaze_trace command '", cmd,
                "' (want record, info or validate)");
+}
+
+const char *
+gazeCampaignUsage()
+{
+    return gazeCampaignUsageText;
+}
+
+GazeCampaignOptions
+parseGazeCampaignArgs(const std::vector<std::string> &args)
+{
+    GazeCampaignOptions opt;
+    if (args.empty())
+        return opt; // Help
+
+    const std::string &cmd = args[0];
+    if (cmd == "--help" || cmd == "-h" || cmd == "help")
+        return opt;
+
+    if (cmd == "run")
+        opt.command = GazeCampaignOptions::Command::Run;
+    else if (cmd == "report")
+        opt.command = GazeCampaignOptions::Command::Report;
+    else if (cmd == "status")
+        opt.command = GazeCampaignOptions::Command::Status;
+    else
+        GAZE_FATAL("unknown gaze_campaign command '", cmd,
+                   "' (want run, report or status)");
+
+    for (size_t i = 1; i < args.size(); ++i) {
+        std::string key, val;
+        splitFlag(args[i], &key, &val);
+        if (key == "--help" || key == "-h") {
+            opt.command = GazeCampaignOptions::Command::Help;
+            return opt;
+        } else if (key == "--spec") {
+            if (val.empty())
+                GAZE_FATAL("--spec needs a file path");
+            opt.specPath = val;
+        } else if (key == "--cache-dir") {
+            if (val.empty())
+                GAZE_FATAL("--cache-dir needs a directory");
+            opt.cacheDir = val;
+        } else if (key == "--shard") {
+            size_t slash = val.find('/');
+            if (slash == std::string::npos)
+                GAZE_FATAL("--shard must look like I/N (e.g. 0/4), "
+                           "got '", val, "'");
+            opt.shardCount = static_cast<uint32_t>(
+                parseCount("--shard count",
+                           val.substr(slash + 1), 4096));
+            if (opt.shardCount < 1)
+                GAZE_FATAL("--shard needs at least one shard");
+            opt.shardIndex = static_cast<uint32_t>(
+                parseCount("--shard index", val.substr(0, slash),
+                           UINT32_MAX));
+            if (opt.shardIndex >= opt.shardCount)
+                GAZE_FATAL("--shard index ", opt.shardIndex,
+                           " out of range (", opt.shardCount,
+                           " shards)");
+        } else if (key == "--threads") {
+            opt.threads =
+                static_cast<uint32_t>(parseCount(key, val, 4096));
+        } else if (key == "--out") {
+            opt.outPath = val;
+        } else if (key == "--csv") {
+            opt.csvPath = val;
+        } else if (key == "--compare") {
+            if (val.empty())
+                GAZE_FATAL("--compare needs a report file");
+            opt.comparePath = val;
+        } else if (key == "--quiet") {
+            opt.quiet = true;
+        } else {
+            GAZE_FATAL("unknown option '", args[i],
+                       "' (see gaze_campaign --help)");
+        }
+    }
+
+    if (opt.specPath.empty())
+        GAZE_FATAL("gaze_campaign ", cmd, " needs --spec=FILE");
+    if (opt.shardCount > 1
+        && opt.command != GazeCampaignOptions::Command::Run)
+        GAZE_FATAL("--shard only applies to gaze_campaign run");
+    return opt;
 }
 
 } // namespace gaze

@@ -1,11 +1,11 @@
 /**
  * @file
- * Flag parsing for the two CLIs (gaze_sim and gaze_trace), factored
- * out of the main()s so the error paths — unknown flags, bad
- * suite/workload/prefetcher names, malformed --trace-dir, junk
- * numbers — are unit-testable. Parsers resolve names against the
- * registries eagerly: anything wrong in argv is fatal here, before a
- * single cycle is simulated.
+ * Flag parsing for the three CLIs (gaze_sim, gaze_trace and
+ * gaze_campaign), factored out of the main()s so the error paths —
+ * unknown flags, bad suite/workload/prefetcher names, malformed
+ * --trace-dir or --shard, junk numbers — are unit-testable. Parsers
+ * resolve names against the registries eagerly: anything wrong in
+ * argv is fatal here, before a single cycle is simulated.
  */
 
 #ifndef GAZE_DRIVER_CLI_HH
@@ -56,6 +56,7 @@ struct GazeTraceOptions
     std::vector<WorkloadDef> workloads; ///< record: what to record
     std::string outDir = ".";           ///< record: --out-dir
     std::vector<std::string> files;     ///< info/validate operands
+    bool jsonOutput = false;            ///< info: --json
 };
 
 /**
@@ -67,6 +68,42 @@ GazeTraceOptions parseGazeTraceArgs(const std::vector<std::string> &args);
 
 /** gaze_trace usage text. */
 const char *gazeTraceUsage();
+
+/** Parsed gaze_campaign command line. */
+struct GazeCampaignOptions
+{
+    enum class Command
+    {
+        Run,    ///< execute missing cells, then aggregate (unsharded)
+        Report, ///< aggregate from cache only
+        Status, ///< count cached vs missing cells
+        Help
+    };
+
+    Command command = Command::Help;
+    std::string specPath;                  ///< --spec (required)
+    std::string cacheDir = "campaign_cache"; ///< --cache-dir
+    uint32_t shardIndex = 0;               ///< --shard=i/n
+    uint32_t shardCount = 1;
+    uint32_t threads = 0;                  ///< --threads
+    std::string outPath;                   ///< --out (report JSON)
+    std::string csvPath;                   ///< --csv (suite CSV)
+    std::string comparePath;               ///< --compare (old report)
+    bool quiet = false;                    ///< --quiet
+};
+
+/**
+ * Parse gaze_campaign arguments: "run|report|status --spec=FILE
+ * [--cache-dir=] [--shard=i/n] [--threads=] [--out=] [--csv=]
+ * [--compare=] [--quiet]". Validates flag syntax only — the spec file
+ * itself is loaded (and validated) by the campaign library. Fatal on
+ * unknown commands/flags, a missing --spec, or a malformed --shard.
+ */
+GazeCampaignOptions
+parseGazeCampaignArgs(const std::vector<std::string> &args);
+
+/** gaze_campaign usage text. */
+const char *gazeCampaignUsage();
 
 /** Split "a,b,c" into tokens, dropping empties. */
 std::vector<std::string> splitList(const std::string &s);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -24,33 +25,6 @@ secondsSince(std::chrono::steady_clock::time_point start)
     return std::chrono::duration<double>(dt).count();
 }
 
-PfSpec
-makePfSpec(const std::string &spec, const std::string &level)
-{
-    PfSpec pf;
-    if (level == "l1")
-        pf.l1 = spec;
-    else if (level == "l2")
-        pf.l2 = spec;
-    else
-        GAZE_FATAL("unknown attach level '", level, "' (want l1 or l2)");
-    return pf;
-}
-
-uint32_t
-resolveThreads(uint32_t requested, size_t jobs)
-{
-    uint32_t n = requested;
-    if (n == 0) {
-        n = std::thread::hardware_concurrency();
-        if (n == 0)
-            n = 1;
-    }
-    if (size_t(n) > jobs)
-        n = static_cast<uint32_t>(jobs);
-    return n < 1 ? 1 : n;
-}
-
 } // namespace
 
 MatrixResult
@@ -62,7 +36,7 @@ runMatrix(const MatrixSpec &spec)
     // Validate the level and every factory spec up front so a bad
     // flag fails before any simulation time is spent (and on the
     // calling thread, not inside a pool worker).
-    makePfSpec("none", spec.level);
+    pfSpecAt("none", spec.level);
     for (const auto &p : spec.prefetchers)
         makePrefetcher(p);
 
@@ -90,13 +64,18 @@ runMatrix(const MatrixSpec &spec)
 
     // One cell = one fresh System, fully independent of every other
     // cell, so the pool needs no synchronization beyond the pointers
-    // into the pre-sized result vectors.
+    // into the pre-sized result vectors. Baselines additionally go
+    // through the shared thread-safe cache so any future consumer of
+    // these Runners (campaign engine, evaluate paths) deduplicates
+    // against them instead of re-simulating.
+    auto sharedBaselines = std::make_shared<BaselineCache>();
     auto runCell = [&](const WorkloadDef &w, const PfSpec &pf,
                        RunResult *out, double *secs) {
         auto t0 = std::chrono::steady_clock::now();
-        Runner runner(spec.run);
+        Runner runner(spec.run, sharedBaselines);
         std::vector<WorkloadDef> mix(spec.cores, w);
-        *out = runner.runMix(mix, pf);
+        *out = pf.isNone() ? runner.baselineMix(mix)
+                           : runner.runMix(mix, pf);
         double dt = secondsSince(t0);
         if (secs)
             *secs = dt;
@@ -104,7 +83,7 @@ runMatrix(const MatrixSpec &spec)
     };
 
     MatrixResult result;
-    result.threadsUsed = resolveThreads(spec.threads, jobs);
+    result.threadsUsed = resolvePoolThreads(spec.threads, jobs);
     {
         ThreadPool pool(result.threadsUsed);
         for (size_t wi = 0; wi < nw; ++wi) {
@@ -114,7 +93,7 @@ runMatrix(const MatrixSpec &spec)
             });
         }
         for (size_t pi = 0; pi < np; ++pi) {
-            PfSpec pf = makePfSpec(spec.prefetchers[pi], spec.level);
+            PfSpec pf = pfSpecAt(spec.prefetchers[pi], spec.level);
             for (size_t wi = 0; wi < nw; ++wi) {
                 size_t cell = pi * nw + wi;
                 pool.submit([&, pf, cell, wi] {

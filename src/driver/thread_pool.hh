@@ -1,9 +1,14 @@
 /**
  * @file
- * Fixed-size worker pool for the suite-runner driver. Each simulation
- * cell is a self-contained job (its own System, traces, prefetchers),
- * so the pool needs nothing beyond submit/wait: no futures, no
- * cancellation, no work stealing.
+ * Fixed-size worker pool for the suite-runner driver and the campaign
+ * engine. Each simulation cell is a self-contained job (its own
+ * System, traces, prefetchers), so the pool needs nothing beyond
+ * submit/wait: no futures, no cancellation, no work stealing.
+ *
+ * A job that throws does not kill the process: the first exception is
+ * captured and rethrown from the next wait(), after the queue has
+ * drained (later exceptions are dropped — one failure already fails
+ * the run). Destruction drains queued jobs before joining.
  */
 
 #ifndef GAZE_DRIVER_THREAD_POOL_HH
@@ -12,6 +17,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -21,6 +27,25 @@
 
 namespace gaze
 {
+
+/**
+ * Resolve a requested worker count against the job count: 0 means
+ * hardware concurrency, and there is never a point in more workers
+ * than jobs. Shared by the matrix driver and the campaign engine.
+ */
+inline uint32_t
+resolvePoolThreads(uint32_t requested, size_t jobs)
+{
+    uint32_t n = requested;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 1;
+    }
+    if (size_t(n) > jobs)
+        n = static_cast<uint32_t>(jobs);
+    return n < 1 ? 1 : n;
+}
 
 /** Runs submitted jobs on @p threads workers; wait() drains the queue. */
 class ThreadPool
@@ -61,12 +86,22 @@ class ThreadPool
         workAvailable.notify_one();
     }
 
-    /** Block until every submitted job has finished. */
+    /**
+     * Block until every submitted job has finished, then rethrow the
+     * first exception any job raised (the pool stays usable after).
+     */
     void
     wait()
     {
-        std::unique_lock<std::mutex> lock(mtx);
-        allDone.wait(lock, [this] { return pending == 0; });
+        std::exception_ptr err;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            allDone.wait(lock, [this] { return pending == 0; });
+            err = firstError;
+            firstError = nullptr;
+        }
+        if (err)
+            std::rethrow_exception(err);
     }
 
     size_t threadCount() const { return workers.size(); }
@@ -87,7 +122,13 @@ class ThreadPool
                 job = std::move(queue.front());
                 queue.pop_front();
             }
-            job();
+            try {
+                job();
+            } catch (...) {
+                std::unique_lock<std::mutex> lock(mtx);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
             {
                 std::unique_lock<std::mutex> lock(mtx);
                 if (--pending == 0)
@@ -103,6 +144,7 @@ class ThreadPool
     std::vector<std::thread> workers;
     size_t pending = 0;
     bool stopping = false;
+    std::exception_ptr firstError;
 };
 
 } // namespace gaze

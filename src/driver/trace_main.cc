@@ -14,6 +14,7 @@
 
 #include "common/log.hh"
 #include "driver/cli.hh"
+#include "harness/export.hh"
 #include "tracing/trace_io.hh"
 #include "workloads/suites.hh"
 
@@ -57,9 +58,68 @@ cmdRecord(const GazeTraceOptions &opt)
     return 0;
 }
 
+/**
+ * info --json: one document for all operands, so campaign tooling
+ * and external scripts consume trace metadata without text scraping.
+ * The op histogram requires a full decode (validate-grade), so bad
+ * payloads surface here too: failed files get an "error" member and
+ * a non-zero exit.
+ */
+int
+cmdInfoJson(const GazeTraceOptions &opt)
+{
+    static const char *op_names[] = {"non_mem", "load",
+                                     "dependent_load", "store",
+                                     "stall"};
+    int rc = 0;
+    JsonWriter j;
+    j.beginObject();
+    j.key("traces").beginArray();
+    for (const auto &f : opt.files) {
+        TraceFileHeader head;
+        TraceOpHistogram hist;
+        std::string error;
+        j.beginObject();
+        j.field("file", f);
+        if (!validateTraceFile(f, &head, &error, &hist)) {
+            j.field("error", error);
+            j.endObject();
+            rc = 1;
+            continue;
+        }
+        j.field("version", uint64_t(head.version));
+        j.field("records", head.recordCount);
+        j.field("payload_bytes", head.payloadBytes);
+        j.field("bytes_per_record",
+                head.recordCount ? double(head.payloadBytes)
+                                       / double(head.recordCount)
+                                 : 0.0);
+        char checksum[20];
+        std::snprintf(checksum, sizeof(checksum), "%016llx",
+                      static_cast<unsigned long long>(head.checksum));
+        j.field("checksum", std::string(checksum));
+        j.field("cache_key", traceCacheKeyFromHeader(head));
+        if (head.meta.empty())
+            j.key("meta").nullValue();
+        else
+            j.field("meta", head.meta);
+        j.key("ops").beginObject();
+        for (size_t op = 0; op < 5; ++op)
+            j.field(op_names[op], hist.counts[op]);
+        j.endObject();
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+    std::printf("%s\n", j.str().c_str());
+    return rc;
+}
+
 int
 cmdInfo(const GazeTraceOptions &opt)
 {
+    if (opt.jsonOutput)
+        return cmdInfoJson(opt);
     int rc = 0;
     for (const auto &f : opt.files) {
         TraceFileHeader head;

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Canonical cell identity for content-addressed result caching. One
+ * "cell" is everything that determines a simulation's outcome: the
+ * full SystemConfig, the resolved phase lengths, the prefetcher spec,
+ * and the identity of every workload in the mix (generator + scale,
+ * or recorded-trace checksum). Two processes that canonicalize the
+ * same experiment get the same text and therefore the same FNV-1a
+ * hash, which is what the campaign cache files are named after and
+ * what the shared BaselineCache is keyed by.
+ *
+ * The schema version is baked into the text: bump it whenever the
+ * simulator's observable behavior changes (new stat, different
+ * timing), and every previously cached cell silently misses instead
+ * of serving stale results.
+ */
+
+#ifndef GAZE_HARNESS_CELL_KEY_HH
+#define GAZE_HARNESS_CELL_KEY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "workloads/suites.hh"
+
+namespace gaze
+{
+
+/** Bump on any change that invalidates previously cached results. */
+constexpr uint32_t kCellSchemaVersion = 1;
+
+/**
+ * The canonical, human-auditable identity text of one cell. Covers
+ * every SystemConfig field, the effective (scale-resolved) warmup and
+ * measured instruction counts, the prefetcher spec, and each mix
+ * member's workloadIdentity(). Deterministic across processes.
+ */
+std::string canonicalCellText(const RunConfig &cfg, const PfSpec &pf,
+                              const std::vector<WorkloadDef> &mix);
+
+/** FNV-1a 64 of the canonical text (the cache address of the cell). */
+uint64_t cellHash(const std::string &canonical_text);
+
+/** The cache file stem: 16 lowercase hex digits. */
+std::string cellHashHex(uint64_t hash);
+
+} // namespace gaze
+
+#endif // GAZE_HARNESS_CELL_KEY_HH

@@ -67,42 +67,58 @@ collectResult(System &sys, std::vector<CoreResult> cores)
     return r;
 }
 
+RunSummary
+summarize(const RunResult &r)
+{
+    RunSummary s;
+    s.ipc = r.ipc();
+    s.pfIssued = r.l1d.pfIssued + r.l2.pfIssued;
+    s.pfFilled = r.l1d.pfFilled + r.l2.pfFilled;
+    s.pfUseful = r.l1d.pfUseful + r.l2.pfUseful;
+    s.pfLate = r.l1d.pfLate + r.l2.pfLate;
+    s.llcDemandMiss = r.llc.demandMiss();
+    return s;
+}
+
 PrefetchMetrics
-computeMetrics(const RunResult &base, const RunResult &with_pf)
+computeMetrics(const RunSummary &base, const RunSummary &with_pf)
 {
     PrefetchMetrics m;
 
-    double base_ipc = base.ipc();
-    double pf_ipc = with_pf.ipc();
-    m.speedup = base_ipc > 0.0 ? pf_ipc / base_ipc : 1.0;
+    m.speedup = base.ipc > 0.0 ? with_pf.ipc / base.ipc : 1.0;
 
     // Overall accuracy over prefetch fills at L1D and L2C: useful
     // counts both demand-hit-after-fill and late (demand merged while
     // in flight), since late prefetches still hid most of the miss.
-    uint64_t filled = with_pf.l1d.pfFilled + with_pf.l2.pfFilled;
-    uint64_t useful = with_pf.l1d.pfUseful + with_pf.l2.pfUseful;
-    uint64_t late = with_pf.l1d.pfLate + with_pf.l2.pfLate;
-    m.pfFilled = filled;
-    m.pfUseful = useful;
-    m.pfLate = late;
-    m.pfIssued = with_pf.l1d.pfIssued + with_pf.l2.pfIssued;
-    uint64_t denom = filled + late;
-    m.accuracy = denom ? double(useful + late) / denom : 0.0;
+    m.pfFilled = with_pf.pfFilled;
+    m.pfUseful = with_pf.pfUseful;
+    m.pfLate = with_pf.pfLate;
+    m.pfIssued = with_pf.pfIssued;
+    uint64_t denom = with_pf.pfFilled + with_pf.pfLate;
+    m.accuracy =
+        denom ? double(with_pf.pfUseful + with_pf.pfLate) / denom : 0.0;
     if (m.accuracy > 1.0)
         m.accuracy = 1.0;
 
     // LLC coverage: removed fraction of baseline LLC demand misses.
-    m.llcMissBase = base.llc.demandMiss();
-    m.llcMissPf = with_pf.llc.demandMiss();
+    m.llcMissBase = base.llcDemandMiss;
+    m.llcMissPf = with_pf.llcDemandMiss;
     if (m.llcMissBase > 0) {
         double removed = double(m.llcMissBase)
                          - double(std::min(m.llcMissPf, m.llcMissBase));
         m.coverage = removed / double(m.llcMissBase);
     }
 
-    uint64_t useful_all = useful + late;
-    m.lateFraction = useful_all ? double(late) / useful_all : 0.0;
+    uint64_t useful_all = with_pf.pfUseful + with_pf.pfLate;
+    m.lateFraction =
+        useful_all ? double(with_pf.pfLate) / useful_all : 0.0;
     return m;
+}
+
+PrefetchMetrics
+computeMetrics(const RunResult &base, const RunResult &with_pf)
+{
+    return computeMetrics(summarize(base), summarize(with_pf));
 }
 
 double

@@ -59,10 +59,31 @@ struct PrefetchMetrics
     uint64_t llcMissPf = 0;
 };
 
+/**
+ * The slice of a RunResult the metric math actually consumes — what
+ * the campaign result cache persists per cell, so a cached cell and a
+ * fresh run feed computeMetrics identically. Prefetch counters are
+ * summed over L1D + L2, exactly as computeMetrics sums them.
+ */
+struct RunSummary
+{
+    double ipc = 0.0;
+    uint64_t pfIssued = 0;
+    uint64_t pfFilled = 0;
+    uint64_t pfUseful = 0;
+    uint64_t pfLate = 0;
+    uint64_t llcDemandMiss = 0;
+};
+
+/** Reduce a full RunResult to the metric-relevant slice. */
+RunSummary summarize(const RunResult &r);
+
 /** Sum per-level stats out of a finished system. */
 RunResult collectResult(System &sys, std::vector<CoreResult> cores);
 
 /** Compute the §IV-A3 metrics from a baseline/prefetch pair. */
+PrefetchMetrics computeMetrics(const RunSummary &base,
+                               const RunSummary &with_pf);
 PrefetchMetrics computeMetrics(const RunResult &base,
                                const RunResult &with_pf);
 

@@ -1,10 +1,62 @@
 #include "harness/runner.hh"
 
 #include "common/log.hh"
+#include "harness/cell_key.hh"
 #include "prefetchers/factory.hh"
 
 namespace gaze
 {
+
+PfSpec
+pfSpecAt(const std::string &spec, const std::string &level)
+{
+    PfSpec pf;
+    if (level == "l1")
+        pf.l1 = spec;
+    else if (level == "l2")
+        pf.l2 = spec;
+    else
+        GAZE_FATAL("unknown attach level '", level,
+                   "' (want l1 or l2)");
+    return pf;
+}
+
+const RunResult &
+BaselineCache::getOrCompute(const std::string &key,
+                            const std::function<RunResult()> &compute)
+{
+    std::shared_future<RunResult> fut;
+    std::promise<RunResult> prom;
+    bool owner = false;
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        auto it = entries.find(key);
+        if (it == entries.end()) {
+            fut = prom.get_future().share();
+            entries.emplace(key, fut);
+            owner = true;
+        } else {
+            fut = it->second;
+        }
+    }
+    // Compute outside the lock so unrelated keys proceed in parallel;
+    // only waiters of this key block, on the future.
+    if (owner) {
+        try {
+            prom.set_value(compute());
+        } catch (...) {
+            prom.set_exception(std::current_exception());
+        }
+    }
+    return fut.get();
+}
+
+size_t
+BaselineCache::size() const
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    return entries.size();
+}
 
 uint64_t
 RunConfig::effectiveWarmup() const
@@ -18,26 +70,12 @@ RunConfig::effectiveSim() const
     return simInstr ? simInstr : scaledRecords(400'000);
 }
 
-Runner::Runner(const RunConfig &config)
-    : cfg(config)
+Runner::Runner(const RunConfig &config,
+               std::shared_ptr<BaselineCache> baselines_)
+    : cfg(config), baselines(std::move(baselines_))
 {
-}
-
-std::string
-Runner::mixKey(const std::vector<WorkloadDef> &mix) const
-{
-    std::string key;
-    for (const auto &w : mix) {
-        key += w.name;
-        // A file-backed workload is a distinct experiment from the
-        // generator of the same name; don't share baselines.
-        if (!w.traceFile.empty()) {
-            key += '@';
-            key += w.traceFile;
-        }
-        key += '|';
-    }
-    return key;
+    if (!baselines)
+        baselines = std::make_shared<BaselineCache>();
 }
 
 RunResult
@@ -86,12 +124,12 @@ Runner::baseline(const WorkloadDef &w)
 const RunResult &
 Runner::baselineMix(const std::vector<WorkloadDef> &mix)
 {
-    std::string key = mixKey(mix);
-    auto it = baselineCache.find(key);
-    if (it != baselineCache.end())
-        return it->second;
-    RunResult r = execute(mix, PfSpec{});
-    return baselineCache.emplace(key, std::move(r)).first->second;
+    // The canonical cell text keys the baseline, so Runners with
+    // different configs (or differently recorded traces of the same
+    // workload name) sharing one cache can never collide.
+    std::string key = canonicalCellText(cfg, PfSpec{}, mix);
+    return baselines->getOrCompute(key,
+                                   [&] { return execute(mix, PfSpec{}); });
 }
 
 PrefetchMetrics

@@ -9,8 +9,11 @@
 #ifndef GAZE_HARNESS_RUNNER_HH
 #define GAZE_HARNESS_RUNNER_HH
 
+#include <functional>
+#include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -52,13 +55,53 @@ struct PfSpec
 };
 
 /**
- * Runs workloads under one RunConfig, memoizing baselines. Not thread
- * safe; benches are single-threaded.
+ * Build a PfSpec attaching factory spec @p spec at @p level ("l1" or
+ * "l2"); fatal on anything else. Shared by the matrix driver and the
+ * campaign expansion so the level axis is validated identically.
+ */
+PfSpec pfSpecAt(const std::string &spec, const std::string &level);
+
+/**
+ * Thread-safe memo of no-prefetch baseline runs, keyed by the
+ * canonical cell text (harness/cell_key — config + phases + mix
+ * identity, so it is safe to share across Runners with different
+ * configs). The first caller for a key computes; concurrent callers
+ * for the same key block on a shared future instead of racing the map
+ * or recomputing the simulation. Share one instance across the
+ * thread-pool workers of a matrix or campaign run by passing it to
+ * each Runner.
+ */
+class BaselineCache
+{
+  public:
+    /**
+     * Return the cached result for @p key, running @p compute (and
+     * publishing its result) if this is the first request. If compute
+     * throws, the exception propagates to every waiter of this key.
+     */
+    const RunResult &
+    getOrCompute(const std::string &key,
+                 const std::function<RunResult()> &compute);
+
+    size_t size() const;
+
+  private:
+    mutable std::mutex mtx;
+    /** Node-based map: shared-state references outlive inserts. */
+    std::map<std::string, std::shared_future<RunResult>> entries;
+};
+
+/**
+ * Runs workloads under one RunConfig, memoizing baselines. A Runner
+ * itself is not thread safe, but its baseline cache may be shared: by
+ * default each Runner owns a private BaselineCache; pass a shared one
+ * to deduplicate baselines across Runners and across pool workers.
  */
 class Runner
 {
   public:
-    explicit Runner(const RunConfig &config);
+    explicit Runner(const RunConfig &config,
+                    std::shared_ptr<BaselineCache> baselines = nullptr);
 
     /** Single-core run of @p w with @p pf. */
     RunResult run(const WorkloadDef &w, const PfSpec &pf);
@@ -85,10 +128,9 @@ class Runner
   private:
     RunResult execute(const std::vector<WorkloadDef> &mix,
                       const PfSpec &pf);
-    std::string mixKey(const std::vector<WorkloadDef> &mix) const;
 
     RunConfig cfg;
-    std::map<std::string, RunResult> baselineCache;
+    std::shared_ptr<BaselineCache> baselines;
 };
 
 /**

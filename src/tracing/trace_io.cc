@@ -1,5 +1,6 @@
 #include "tracing/trace_io.hh"
 
+#include <cstdio>
 #include <cstring>
 
 #include "common/log.hh"
@@ -301,7 +302,7 @@ probeTraceFile(const std::string &path, TraceFileHeader *header,
 
 bool
 validateTraceFile(const std::string &path, TraceFileHeader *header,
-                  std::string *error)
+                  std::string *error, TraceOpHistogram *histogram)
 {
     TraceFileHeader local;
     std::string local_err;
@@ -355,6 +356,8 @@ validateTraceFile(const std::string &path, TraceFileHeader *header,
         pos += used;
         bytes += used;
         ++records;
+        if (histogram)
+            ++histogram->counts[static_cast<uint8_t>(rec.op)];
     }
     if (bytes != h->payloadBytes || pos != buf.size()) {
         *e = path + ": payload does not end on a record boundary";
@@ -448,6 +451,27 @@ std::string
 traceFileName(const std::string &workload)
 {
     return workload + ".gzt";
+}
+
+std::string
+traceCacheKeyFromHeader(const TraceFileHeader &header)
+{
+    char buf[80];
+    std::snprintf(buf, sizeof(buf), "gzt:v%u:%llu:%016llx",
+                  header.version,
+                  static_cast<unsigned long long>(header.recordCount),
+                  static_cast<unsigned long long>(header.checksum));
+    return buf;
+}
+
+std::string
+traceCacheKey(const std::string &path)
+{
+    TraceFileHeader head;
+    std::string error;
+    if (!probeTraceFile(path, &head, &error))
+        GAZE_FATAL("cannot derive cache key: ", error);
+    return traceCacheKeyFromHeader(head);
 }
 
 } // namespace gaze

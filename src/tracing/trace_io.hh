@@ -90,12 +90,42 @@ class TraceWriter
 bool probeTraceFile(const std::string &path, TraceFileHeader *header,
                     std::string *error);
 
+/** Per-op record counts of one trace payload (indexed by TraceOp). */
+struct TraceOpHistogram
+{
+    uint64_t counts[5] = {0, 0, 0, 0, 0};
+
+    uint64_t
+    total() const
+    {
+        uint64_t sum = 0;
+        for (uint64_t c : counts)
+            sum += c;
+        return sum;
+    }
+};
+
 /**
  * Full integrity check: probe, then decode every record and verify the
- * record count, payload size and checksum all match the header.
+ * record count, payload size and checksum all match the header. When
+ * @p histogram is non-null it receives the per-op record counts (this
+ * is what gaze_trace info --json reports).
  */
 bool validateTraceFile(const std::string &path, TraceFileHeader *header,
-                       std::string *error);
+                       std::string *error,
+                       TraceOpHistogram *histogram = nullptr);
+
+/**
+ * Stable identity of a recorded trace for result-cache keys:
+ * "gzt:v<version>:<records>:<checksum hex>". Only reads the header
+ * (the checksum was computed over the whole payload at record time).
+ * Fatal on a missing or malformed file — cache keys must never be
+ * derived from guesses.
+ */
+std::string traceCacheKey(const std::string &path);
+
+/** The same key from an already-probed header (no file I/O). */
+std::string traceCacheKeyFromHeader(const TraceFileHeader &header);
 
 /**
  * A .gzt file as a TraceSource: decodes records through a fixed-size

@@ -1,6 +1,9 @@
 #include "workloads/suites.hh"
 
+#include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <mutex>
 
 #include "common/log.hh"
 #include "tracing/trace_io.hh"
@@ -310,6 +313,30 @@ withTraceDir(std::vector<WorkloadDef> workloads, const std::string &dir)
                        w.name, " --out-dir=", dir, ")");
     }
     return workloads;
+}
+
+std::string
+workloadIdentity(const WorkloadDef &w)
+{
+    if (!w.traceFile.empty()) {
+        // Campaign expansion derives keys for every (cell, baseline,
+        // core copy), so one path is asked for thousands of times;
+        // memoize the header read. A file that changes under a live
+        // process is already undefined (FileTrace would fatal), so a
+        // process-lifetime memo is safe.
+        static std::mutex mtx;
+        static std::map<std::string, std::string> keys;
+        std::unique_lock<std::mutex> lock(mtx);
+        auto it = keys.find(w.traceFile);
+        if (it == keys.end())
+            it = keys.emplace(w.traceFile,
+                              traceCacheKey(w.traceFile))
+                     .first;
+        return w.name + "=" + it->second;
+    }
+    char scale[40];
+    std::snprintf(scale, sizeof(scale), "%.17g", simScale());
+    return w.name + "=gen:scale=" + scale;
 }
 
 const std::vector<std::string> &

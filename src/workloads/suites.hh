@@ -74,6 +74,17 @@ const WorkloadDef &findWorkload(const std::string &name);
 std::vector<WorkloadDef> withTraceDir(std::vector<WorkloadDef> workloads,
                                       const std::string &dir);
 
+/**
+ * Canonical identity string for result-cache keys. A generator
+ * workload is its registry name plus the generation scale (the only
+ * inputs its deterministic trace depends on); a file-backed workload
+ * is the name plus the recorded trace's header key (version, record
+ * count, payload checksum — see traceCacheKey), so two different
+ * recordings of the same workload never share cached results. Fatal
+ * on an unreadable trace file.
+ */
+std::string workloadIdentity(const WorkloadDef &w);
+
 /** The five main-evaluation suites of Fig. 6-8. */
 const std::vector<std::string> &mainSuites();
 

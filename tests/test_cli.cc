@@ -202,10 +202,23 @@ TEST(GazeTraceCli, InfoAndValidateCollectFiles)
         parseGazeTraceArgs({"info", "a.gzt", "b.gzt"});
     EXPECT_EQ(info.command, GazeTraceOptions::Command::Info);
     EXPECT_EQ(info.files, (std::vector<std::string>{"a.gzt", "b.gzt"}));
+    EXPECT_FALSE(info.jsonOutput);
 
     GazeTraceOptions val = parseGazeTraceArgs({"validate", "c.gzt"});
     EXPECT_EQ(val.command, GazeTraceOptions::Command::Validate);
     EXPECT_EQ(val.files, (std::vector<std::string>{"c.gzt"}));
+}
+
+TEST(GazeTraceCli, InfoJsonFlag)
+{
+    GazeTraceOptions info =
+        parseGazeTraceArgs({"info", "--json", "a.gzt"});
+    EXPECT_TRUE(info.jsonOutput);
+    EXPECT_EQ(info.files, (std::vector<std::string>{"a.gzt"}));
+
+    // --json is info-only; for validate it stays a flag typo.
+    EXPECT_DEATH(parseGazeTraceArgs({"validate", "--json", "a.gzt"}),
+                 "unknown validate option");
 }
 
 TEST(GazeTraceCliDeath, BadCommandsAndOperands)
@@ -225,6 +238,72 @@ TEST(GazeTraceCliDeath, BadCommandsAndOperands)
     // Single-dash typos are flags, not file names.
     EXPECT_DEATH(parseGazeTraceArgs({"info", "-h"}),
                  "unknown info option '-h'");
+}
+
+// ---- gaze_campaign --------------------------------------------------
+
+TEST(GazeCampaignCli, RunFlagsParse)
+{
+    GazeCampaignOptions opt = parseGazeCampaignArgs(
+        {"run", "--spec=camp.json", "--cache-dir=/tmp/cc",
+         "--shard=2/8", "--threads=4", "--out=r.json", "--csv=r.csv",
+         "--compare=old.json", "--quiet"});
+    EXPECT_EQ(opt.command, GazeCampaignOptions::Command::Run);
+    EXPECT_EQ(opt.specPath, "camp.json");
+    EXPECT_EQ(opt.cacheDir, "/tmp/cc");
+    EXPECT_EQ(opt.shardIndex, 2u);
+    EXPECT_EQ(opt.shardCount, 8u);
+    EXPECT_EQ(opt.threads, 4u);
+    EXPECT_EQ(opt.outPath, "r.json");
+    EXPECT_EQ(opt.csvPath, "r.csv");
+    EXPECT_EQ(opt.comparePath, "old.json");
+    EXPECT_TRUE(opt.quiet);
+}
+
+TEST(GazeCampaignCli, DefaultsAndOtherCommands)
+{
+    GazeCampaignOptions report =
+        parseGazeCampaignArgs({"report", "--spec=s.json"});
+    EXPECT_EQ(report.command, GazeCampaignOptions::Command::Report);
+    EXPECT_EQ(report.cacheDir, "campaign_cache");
+    EXPECT_EQ(report.shardCount, 1u);
+    EXPECT_FALSE(report.quiet);
+
+    GazeCampaignOptions status =
+        parseGazeCampaignArgs({"status", "--spec=s.json"});
+    EXPECT_EQ(status.command, GazeCampaignOptions::Command::Status);
+
+    EXPECT_EQ(parseGazeCampaignArgs({}).command,
+              GazeCampaignOptions::Command::Help);
+    EXPECT_EQ(parseGazeCampaignArgs({"--help"}).command,
+              GazeCampaignOptions::Command::Help);
+    EXPECT_EQ(parseGazeCampaignArgs({"run", "--help"}).command,
+              GazeCampaignOptions::Command::Help);
+}
+
+TEST(GazeCampaignCliDeath, BadFlags)
+{
+    EXPECT_DEATH(parseGazeCampaignArgs({"launch"}),
+                 "unknown gaze_campaign command 'launch'");
+    EXPECT_DEATH(parseGazeCampaignArgs({"run"}),
+                 "needs --spec=FILE");
+    EXPECT_DEATH(parseGazeCampaignArgs({"run", "--spec="}),
+                 "--spec needs a file path");
+    EXPECT_DEATH(
+        parseGazeCampaignArgs({"run", "--spec=s", "--shard=3"}),
+        "--shard must look like I/N");
+    EXPECT_DEATH(
+        parseGazeCampaignArgs({"run", "--spec=s", "--shard=4/4"}),
+        "out of range");
+    EXPECT_DEATH(
+        parseGazeCampaignArgs({"run", "--spec=s", "--shard=a/b"}),
+        "bad numeric value");
+    EXPECT_DEATH(
+        parseGazeCampaignArgs({"report", "--spec=s", "--shard=0/2"}),
+        "--shard only applies");
+    EXPECT_DEATH(
+        parseGazeCampaignArgs({"run", "--spec=s", "--frobnicate"}),
+        "unknown option");
 }
 
 } // namespace

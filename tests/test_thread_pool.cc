@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Dedicated ThreadPool coverage: submission-order execution on one
+ * worker, full parallel drain, exception capture + rethrow from
+ * wait() (with the pool staying usable afterwards), and destruction
+ * with jobs still queued — which must run them, not drop them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "driver/thread_pool.hh"
+
+namespace gaze
+{
+namespace
+{
+
+TEST(ThreadPool, SingleWorkerRunsJobsInSubmissionOrder)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        pool.submit([&order, i] { order.push_back(i); });
+    pool.wait();
+    ASSERT_EQ(order.size(), 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[size_t(i)], i);
+}
+
+TEST(ThreadPool, ParallelWorkersDrainEverything)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 200; ++i)
+        pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, WaitWithNothingSubmittedReturns)
+{
+    ThreadPool pool(2);
+    pool.wait();
+}
+
+TEST(ThreadPool, WaitRethrowsFirstJobException)
+{
+    ThreadPool pool(1);
+    std::atomic<int> ran{0};
+    pool.submit([&] {
+        ++ran;
+        throw std::runtime_error("job one failed");
+    });
+    // Later jobs still run: one failure fails the run but must not
+    // starve the queue (cells are independent).
+    pool.submit([&] { ++ran; });
+    pool.submit([&] {
+        ++ran;
+        throw std::runtime_error("job three failed");
+    });
+    try {
+        pool.wait();
+        FAIL() << "wait() should have rethrown";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "job one failed");
+    }
+    EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterException)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+
+    // The error was consumed by the previous wait().
+    std::atomic<int> count{0};
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, DestructorRunsQueuedJobs)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(1);
+        // The first job blocks the lone worker long enough for the
+        // rest to be observed still queued at destruction time.
+        pool.submit([&count] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            count.fetch_add(1);
+        });
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&count] { count.fetch_add(1); });
+        // No wait(): the destructor must drain the queue.
+    }
+    EXPECT_EQ(count.load(), 11);
+}
+
+} // namespace
+} // namespace gaze
