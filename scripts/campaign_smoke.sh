@@ -10,7 +10,11 @@
 #      aggregate report is byte-identical,
 #   3. --shard=0/2 + --shard=1/2 into a fresh cache followed by
 #      `report` equals the unsharded report byte for byte,
-#   4. --compare against the first report yields an exact 0 delta.
+#   4. --compare against the first report yields an exact 0 delta,
+#   5. a respelled spec (non-canonical prefetcher spellings: explicit
+#      defaults, reordered options) against the warm cache is 100%
+#      cache hits with a byte-identical report — cache identity is
+#      spelling-invariant.
 set -eu
 
 BIN=$1
@@ -66,6 +70,27 @@ grep -q "executed 2 simulation(s)" shard1.txt
     --out=report_sharded.json --csv=report_sharded.csv
 cmp report1.json report_sharded.json
 echo "OK: sharded + report equals unsharded"
+
+echo "== respelled spec against the warm cache"
+# "gaze:region=4096:n=2" spells out schema defaults in arbitrary
+# order; it canonicalizes to plain "gaze", so every cell must hit the
+# cache the canonical spelling populated and the report must not
+# change by a byte.
+cat > spec_respelled.json <<'EOF'
+{
+  "name": "smoke2cell",
+  "prefetchers": ["gaze:region=4096:n=2"],
+  "workloads": ["leslie3d", "mcf"],
+  "warmup": 2000,
+  "sim": 8000
+}
+EOF
+"$BIN" run --spec=spec_respelled.json --cache-dir=cache --quiet \
+    --out=report_respelled.json > respelled.txt
+cat respelled.txt
+grep -q "executed 0 simulation(s), 4 cache hit(s)" respelled.txt
+cmp report1.json report_respelled.json
+echo "OK: non-canonical spellings are pure cache hits, same report"
 
 echo "== compare against self"
 "$BIN" report --spec=spec.json --cache-dir=cache \

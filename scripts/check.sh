@@ -39,6 +39,17 @@ cmake --build "$BUILD_DIR" -j
 cd "$BUILD_DIR"
 ctest -L tier1 --output-on-failure --stop-on-failure -j
 
+# Prefetcher-registry smoke (runs under the sanitize gate too):
+# rendering the JSON listing round-trips every registered scheme
+# through the registry — parse, canonicalize, build, storageBits() —
+# so a bad registration or schema dies here before anything simulates.
+./src/gaze_sim --list-prefetchers=json > registry.json
+grep -q '"name":"gaze"' registry.json
+grep -q '"name":"vberti"' registry.json
+grep -q '"storage_kib":' registry.json
+grep -q '"canonical":"gaze"' registry.json
+./src/gaze_campaign describe > /dev/null
+
 # Trace subsystem smoke: record two workloads, validate the files,
 # inspect them as JSON, replay them through the suite runner.
 SMOKE_DIR=check_traces

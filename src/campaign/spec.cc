@@ -4,7 +4,7 @@
 
 #include "common/log.hh"
 #include "harness/cell_key.hh"
-#include "prefetchers/factory.hh"
+#include "prefetchers/registry.hh"
 
 namespace gaze
 {
@@ -93,8 +93,14 @@ parseCampaignSpec(const JsonValue &root)
     // dies with a clear message before any simulation or cache I/O —
     // including suites that "workloads" overrides and would otherwise
     // be silently ignored.
-    for (const auto &p : spec.prefetchers)
-        makePrefetcher(p);
+    //
+    // The prefetcher axis is also canonicalized (aliases resolved,
+    // options sorted, defaults elided): equivalent spellings collapse
+    // to one axis entry, one set of cells and one cache address, and
+    // the report labels are spelling-invariant. First spelling wins
+    // the axis position.
+    spec.prefetchers =
+        canonicalizeSpecList(spec.prefetchers, "campaign spec");
     for (const auto &level : spec.levels)
         pfSpecAt("none", level);
     for (const auto &w : spec.workloadNames)

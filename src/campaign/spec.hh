@@ -10,7 +10,9 @@
  * (harness/cell_key), which is the address of its cached result.
  *
  * Spec format (all axes validated against the driver registries,
- * unknown keys fatal):
+ * unknown keys fatal; the prefetcher axis is canonicalized by the
+ * prefetcher registry on load, so equivalent spellings collapse to
+ * one axis entry and the cells/report labels are spelling-invariant):
  *
  *   {
  *     "name": "fig06_main",            // required, experiment id

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "prefetchers/registry.hh"
 
 namespace gaze
 {
@@ -342,6 +343,84 @@ size_t
 GazePrefetcher::atOccupancy() const
 {
     return at.occupancy();
+}
+
+GAZE_REGISTER_PREFETCHER(gaze)
+{
+    PrefetcherDescriptor d;
+    d.name = "gaze";
+    d.doc = "Gaze: spatial patterns characterized by their first "
+            "temporally-ordered accesses, plus a streaming module "
+            "(the paper's scheme, Table I configuration)";
+    d.options = {
+        OptionSchema::uintRange(
+            "region", 4096, 2 * blockSize, 1u << 20,
+            "spatial region size in bytes (Figs. 17a/18)", true),
+        OptionSchema::uintRange(
+            "n", 2, 1, 4,
+            "initial accesses required for a pattern match (Fig. 4)"),
+        OptionSchema::uintRange(
+            "phtsets", 0, 0, 1u << 20,
+            "PHT sets; 0 = auto (64, or one fully-associative set "
+            "when n >= 3) (Fig. 17b)",
+            true),
+        OptionSchema::uintRange(
+            "phtways", 0, 0, 4096,
+            "PHT ways; 0 = auto (4, or 256 when n >= 3 and phtsets "
+            "is auto too)"),
+        OptionSchema::flag(
+            "nostream",
+            "disable the streaming module (Gaze-PHT in Fig. 9)"),
+        OptionSchema::flag(
+            "pht4ss",
+            "learn/predict streaming-case regions via the PHT "
+            "(Fig. 10)"),
+        OptionSchema::flag(
+            "sm4ss",
+            "operate on streaming-case regions only (Fig. 10)"),
+        OptionSchema::flag(
+            "nobackup",
+            "disable the region-local backup stride (§III-C)"),
+        OptionSchema::flag(
+            "loose",
+            "approximate (non-strict) PHT matching (§III-B)"),
+    };
+    d.build = [](const SpecOptions &o) -> std::unique_ptr<Prefetcher> {
+        GazeConfig cfg;
+        cfg.regionSize = o.num("region");
+        cfg.numInitialAccesses = static_cast<uint32_t>(o.num("n"));
+        // For n >= 3 the paper uses a 256-entry fully-associative
+        // table; the 0 default means "pick the table for this n".
+        // An explicit phtsets opts out of the fully-associative
+        // shape entirely (matching the pre-registry factory), so
+        // "gaze:n=3:phtsets=64" is a 64x4 table, not 64x256.
+        uint64_t sets = o.num("phtsets");
+        uint64_t ways = o.num("phtways");
+        bool auto_fa = cfg.numInitialAccesses >= 3 && sets == 0;
+        cfg.phtSets =
+            static_cast<uint32_t>(sets ? sets : (auto_fa ? 1 : 64));
+        cfg.phtWays =
+            static_cast<uint32_t>(ways ? ways : (auto_fa ? 256 : 4));
+        if (o.flag("nostream"))
+            cfg.enableStreamingModule = false;
+        if (o.flag("pht4ss")) {
+            cfg.streamingViaPht = true;
+            cfg.streamingRegionsOnly = true;
+        }
+        if (o.flag("sm4ss"))
+            cfg.streamingRegionsOnly = true;
+        if (o.flag("nobackup"))
+            cfg.enableBackupStride = false;
+        if (o.flag("loose"))
+            cfg.strictMatch = false;
+        // n == 1 is the pure trigger-offset characterization
+        // ("Offset" in Figs. 1/9): everything, including dense
+        // streaming patterns, goes through the offset-indexed PHT.
+        if (cfg.numInitialAccesses == 1)
+            cfg.enableStreamingModule = false;
+        return std::make_unique<GazePrefetcher>(cfg);
+    };
+    return d;
 }
 
 } // namespace gaze

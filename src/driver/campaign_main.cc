@@ -19,6 +19,7 @@
 #include "common/log.hh"
 #include "driver/cli.hh"
 #include "harness/export.hh"
+#include "prefetchers/registry.hh"
 
 namespace
 {
@@ -139,6 +140,10 @@ main(int argc, char **argv)
         return cmdReport(opt);
       case GazeCampaignOptions::Command::Status:
         return cmdStatus(opt);
+      case GazeCampaignOptions::Command::Describe:
+        std::fputs(renderPrefetcherList(opt.jsonOutput).c_str(),
+                   stdout);
+        return 0;
       case GazeCampaignOptions::Command::Help:
         std::fputs(gazeCampaignUsage(), stdout);
         return 0;

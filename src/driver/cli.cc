@@ -4,7 +4,7 @@
 #include <cstdlib>
 
 #include "common/log.hh"
-#include "prefetchers/factory.hh"
+#include "prefetchers/registry.hh"
 
 namespace gaze
 {
@@ -36,6 +36,11 @@ const char *gazeSimUsageText =
     "                         [$GAZE_RESULTS_DIR/]BENCH_<name>.json)\n"
     "  --quiet                no per-cell progress on stderr\n"
     "  --list                 print known prefetchers/suites/workloads\n"
+    "  --list-prefetchers[=json]\n"
+    "                         print every registered scheme with its\n"
+    "                         typed options, defaults and docs,\n"
+    "                         generated from the registry (json: one\n"
+    "                         machine-readable document)\n"
     "  --help                 this text\n"
     "\n"
     "GAZE_SIM_SCALE scales default trace/phase lengths, as in the\n"
@@ -79,6 +84,9 @@ const char *gazeCampaignUsageText =
     "  report    aggregate from the cache only (all cells must be\n"
     "            present; use after all shards finished)\n"
     "  status    print how many cells are cached vs missing\n"
+    "  describe  print every registered prefetcher scheme with its\n"
+    "            typed options, defaults and docs (add --json for a\n"
+    "            machine-readable document); needs no --spec\n"
     "\n"
     "options:\n"
     "  --spec=FILE        campaign spec (JSON; see README)\n"
@@ -207,6 +215,17 @@ parseGazeSimArgs(const std::vector<std::string> &args)
         } else if (key == "--list") {
             opt.showList = true;
             return opt;
+        } else if (key == "--list-prefetchers") {
+            if (val.empty())
+                opt.listPrefetchers =
+                    GazeSimOptions::ListPrefetchers::Text;
+            else if (val == "json")
+                opt.listPrefetchers =
+                    GazeSimOptions::ListPrefetchers::Json;
+            else
+                GAZE_FATAL("--list-prefetchers takes no value or "
+                           "=json, got '", val, "'");
+            return opt;
         } else if (key == "--quiet") {
             opt.spec.verbose = false;
         } else if (key == "--prefetchers") {
@@ -245,9 +264,12 @@ parseGazeSimArgs(const std::vector<std::string> &args)
 
     if (opt.spec.prefetchers.empty())
         GAZE_FATAL("--prefetchers needs at least one spec");
-    // Reject bad factory specs at parse time, on the calling thread.
-    for (const auto &p : opt.spec.prefetchers)
-        makePrefetcher(p);
+    // Canonicalize (and thereby reject bad specs) at parse time, on
+    // the calling thread. Two spellings of the same variant collapse
+    // to one matrix row instead of simulating — and labeling — the
+    // same cell twice.
+    opt.spec.prefetchers =
+        canonicalizeSpecList(opt.spec.prefetchers, "--prefetchers");
 
     opt.spec.workloads = expandWorkloads(workloadNames, workloadsGiven,
                                          suites, suitesGiven,
@@ -346,9 +368,24 @@ parseGazeCampaignArgs(const std::vector<std::string> &args)
         opt.command = GazeCampaignOptions::Command::Report;
     else if (cmd == "status")
         opt.command = GazeCampaignOptions::Command::Status;
+    else if (cmd == "describe")
+        opt.command = GazeCampaignOptions::Command::Describe;
     else
         GAZE_FATAL("unknown gaze_campaign command '", cmd,
-                   "' (want run, report or status)");
+                   "' (want run, report, status or describe)");
+
+    if (opt.command == GazeCampaignOptions::Command::Describe) {
+        for (size_t i = 1; i < args.size(); ++i) {
+            if (args[i] == "--json")
+                opt.jsonOutput = true;
+            else if (args[i] == "--help" || args[i] == "-h")
+                opt.command = GazeCampaignOptions::Command::Help;
+            else
+                GAZE_FATAL("unknown describe option '", args[i],
+                           "' (see gaze_campaign --help)");
+        }
+        return opt;
+    }
 
     for (size_t i = 1; i < args.size(); ++i) {
         std::string key, val;

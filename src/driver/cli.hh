@@ -24,17 +24,29 @@ namespace gaze
 /** Parsed gaze_sim command line. */
 struct GazeSimOptions
 {
+    /** --list-prefetchers[=json]: registry introspection mode. */
+    enum class ListPrefetchers
+    {
+        No,   ///< flag absent
+        Text, ///< human-readable scheme/option table
+        Json  ///< one machine-readable JSON document
+    };
+
     MatrixSpec spec;
     std::string outPath;    ///< --out; empty = default BENCH path
     bool showHelp = false;  ///< --help: print usage, run nothing
     bool showList = false;  ///< --list: print registries, run nothing
+
+    /** Render the prefetcher registry, run nothing. */
+    ListPrefetchers listPrefetchers = ListPrefetchers::No;
 };
 
 /**
  * Parse gaze_sim flags (argv without the program name). Expands
  * --suites/--workloads into WorkloadDefs, rebinds them to recorded
- * traces when --trace-dir is given, and validates every prefetcher
- * spec. Fatal on any malformed or unknown argument.
+ * traces when --trace-dir is given, and canonicalizes every
+ * prefetcher spec against the registry (equivalent spellings collapse
+ * to one matrix row). Fatal on any malformed or unknown argument.
  */
 GazeSimOptions parseGazeSimArgs(const std::vector<std::string> &args);
 
@@ -74,9 +86,10 @@ struct GazeCampaignOptions
 {
     enum class Command
     {
-        Run,    ///< execute missing cells, then aggregate (unsharded)
-        Report, ///< aggregate from cache only
-        Status, ///< count cached vs missing cells
+        Run,      ///< execute missing cells, then aggregate (unsharded)
+        Report,   ///< aggregate from cache only
+        Status,   ///< count cached vs missing cells
+        Describe, ///< render the prefetcher registry (no --spec)
         Help
     };
 
@@ -90,14 +103,16 @@ struct GazeCampaignOptions
     std::string csvPath;                   ///< --csv (suite CSV)
     std::string comparePath;               ///< --compare (old report)
     bool quiet = false;                    ///< --quiet
+    bool jsonOutput = false;               ///< describe: --json
 };
 
 /**
  * Parse gaze_campaign arguments: "run|report|status --spec=FILE
  * [--cache-dir=] [--shard=i/n] [--threads=] [--out=] [--csv=]
- * [--compare=] [--quiet]". Validates flag syntax only — the spec file
- * itself is loaded (and validated) by the campaign library. Fatal on
- * unknown commands/flags, a missing --spec, or a malformed --shard.
+ * [--compare=] [--quiet]" or "describe [--json]". Validates flag
+ * syntax only — the spec file itself is loaded (and validated) by the
+ * campaign library. Fatal on unknown commands/flags, a missing --spec
+ * for the spec-driven commands, or a malformed --shard.
  */
 GazeCampaignOptions
 parseGazeCampaignArgs(const std::vector<std::string> &args);

@@ -9,7 +9,7 @@
 
 #include "common/log.hh"
 #include "driver/thread_pool.hh"
-#include "prefetchers/factory.hh"
+#include "prefetchers/registry.hh"
 #include "harness/export.hh"
 #include "harness/table.hh"
 
@@ -35,10 +35,12 @@ runMatrix(const MatrixSpec &spec)
     GAZE_ASSERT(spec.cores >= 1, "matrix needs at least one core per cell");
     // Validate the level and every factory spec up front so a bad
     // flag fails before any simulation time is spent (and on the
-    // calling thread, not inside a pool worker).
+    // calling thread, not inside a pool worker). Resolution also
+    // validates each spec against its registry schema without paying
+    // for a construction.
     pfSpecAt("none", spec.level);
     for (const auto &p : spec.prefetchers)
-        makePrefetcher(p);
+        resolvePrefetcherSpec(p);
 
     const size_t nw = spec.workloads.size();
     const size_t np = spec.prefetchers.size();

@@ -28,8 +28,15 @@
 namespace gaze
 {
 
-/** Bump on any change that invalidates previously cached results. */
-constexpr uint32_t kCellSchemaVersion = 1;
+/**
+ * Bump on any change that invalidates previously cached results.
+ *
+ * v2: prefetcher specs inside the cell text are canonicalized by the
+ * registry (aliases resolved, options sorted, defaults elided), so a
+ * v1 record keyed by a raw spelling must read as a miss even when its
+ * spelling happened to be canonical.
+ */
+constexpr uint32_t kCellSchemaVersion = 2;
 
 /**
  * The canonical, human-auditable identity text of one cell. Covers

@@ -3,6 +3,7 @@
 #include "common/log.hh"
 #include "harness/cell_key.hh"
 #include "prefetchers/factory.hh"
+#include "prefetchers/registry.hh"
 
 namespace gaze
 {
@@ -10,11 +11,17 @@ namespace gaze
 PfSpec
 pfSpecAt(const std::string &spec, const std::string &level)
 {
+    // Canonicalize (and thereby validate) here, at the single choke
+    // point every matrix/campaign cell passes through: the PfSpec —
+    // and with it the canonical cell text, the baseline cache key and
+    // the campaign cache address — only ever sees the one canonical
+    // spelling, so "gaze:n=1:region=2048" and "gaze:region=2048:n=1"
+    // are the same cell.
     PfSpec pf;
     if (level == "l1")
-        pf.l1 = spec;
+        pf.l1 = canonicalPrefetcherSpec(spec);
     else if (level == "l2")
-        pf.l2 = spec;
+        pf.l2 = canonicalPrefetcherSpec(spec);
     else
         GAZE_FATAL("unknown attach level '", level,
                    "' (want l1 or l2)");

@@ -1,5 +1,7 @@
 #include "prefetchers/berti.hh"
 
+#include "prefetchers/registry.hh"
+
 #include <algorithm>
 #include <cstdlib>
 
@@ -183,6 +185,28 @@ BertiPrefetcher::storageBits() const
     // paper accounts against the cache, not this table.
     uint64_t entry_bits = 12 + 16 * (13 + 5 + 2) + 5;
     return uint64_t(cfg.tableSets) * cfg.tableWays * entry_bits;
+}
+
+GAZE_REGISTER_PREFETCHER(vberti)
+{
+    PrefetcherDescriptor d;
+    d.name = "vberti";
+    d.aliases = {"berti"};
+    d.doc = "Berti (MICRO'22) on virtual addresses: per-PC timely "
+            "local deltas";
+    d.options = {
+        OptionSchema::flag(
+            "oracle",
+            "perfect duplicate filtering (upper-bound study used by "
+            "the export oracle tests)"),
+    };
+    d.build = [](const SpecOptions &o) -> std::unique_ptr<Prefetcher> {
+        BertiParams cfg;
+        if (o.flag("oracle"))
+            cfg.oracleFilter = true;
+        return std::make_unique<BertiPrefetcher>(cfg);
+    };
+    return d;
 }
 
 } // namespace gaze

@@ -2,6 +2,8 @@
 
 #include "sim/dram.hh"
 
+#include "prefetchers/registry.hh"
+
 namespace gaze
 {
 
@@ -95,6 +97,25 @@ DspatchPrefetcher::storageBits() const
     uint64_t pb_bits = uint64_t(baseParams().pbEntries)
                        * (36 + 3 + 2 * regionBlocks());
     return spt_bits + page_buffer + pb_bits;
+}
+
+GAZE_REGISTER_PREFETCHER(dspatch)
+{
+    PrefetcherDescriptor d;
+    d.name = "dspatch";
+    d.doc = "DSPatch (MICRO'19): dual coverage/accuracy bit-pattern "
+            "selection steered by DRAM bandwidth headroom";
+    d.options = {
+        OptionSchema::uintRange(
+            "region", 2048, 2 * blockSize, 1u << 20,
+            "spatial region size in bytes (Table IV uses 2KB)", true),
+    };
+    d.build = [](const SpecOptions &o) -> std::unique_ptr<Prefetcher> {
+        DspatchParams cfg;
+        cfg.base.regionSize = o.num("region");
+        return std::make_unique<DspatchPrefetcher>(cfg);
+    };
+    return d;
 }
 
 } // namespace gaze

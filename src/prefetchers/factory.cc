@@ -1,191 +1,23 @@
 #include "prefetchers/factory.hh"
 
-#include <cstdlib>
-#include <map>
-
-#include "common/log.hh"
-#include "core/gaze.hh"
-#include "prefetchers/berti.hh"
-#include "prefetchers/bingo.hh"
-#include "prefetchers/dspatch.hh"
-#include "prefetchers/ip_stride.hh"
-#include "prefetchers/ipcp.hh"
-#include "prefetchers/pmp.hh"
-#include "prefetchers/sms.hh"
-#include "prefetchers/spp_ppf.hh"
+#include "prefetchers/registry.hh"
 
 namespace gaze
 {
-namespace
-{
-
-/** Parsed "name:key=value:..." spec. */
-struct Spec
-{
-    std::string name;
-    std::map<std::string, std::string> options;
-
-    bool
-    flag(const std::string &key) const
-    {
-        return options.count(key) > 0;
-    }
-
-    uint64_t
-    num(const std::string &key, uint64_t dflt) const
-    {
-        auto it = options.find(key);
-        return it == options.end()
-                   ? dflt
-                   : std::strtoull(it->second.c_str(), nullptr, 10);
-    }
-
-    std::string
-    str(const std::string &key, const std::string &dflt) const
-    {
-        auto it = options.find(key);
-        return it == options.end() ? dflt : it->second;
-    }
-};
-
-Spec
-parseSpec(const std::string &text)
-{
-    Spec s;
-    size_t pos = text.find(':');
-    s.name = text.substr(0, pos);
-    while (pos != std::string::npos) {
-        size_t next = text.find(':', pos + 1);
-        std::string tok = text.substr(pos + 1,
-                                      next == std::string::npos
-                                          ? std::string::npos
-                                          : next - pos - 1);
-        size_t eq = tok.find('=');
-        if (eq == std::string::npos)
-            s.options[tok] = "1";
-        else
-            s.options[tok.substr(0, eq)] = tok.substr(eq + 1);
-        pos = next;
-    }
-    return s;
-}
-
-std::unique_ptr<Prefetcher>
-makeGaze(const Spec &s)
-{
-    GazeConfig cfg;
-    cfg.regionSize = s.num("region", cfg.regionSize);
-    cfg.numInitialAccesses =
-        static_cast<uint32_t>(s.num("n", cfg.numInitialAccesses));
-    cfg.phtSets = static_cast<uint32_t>(s.num("phtsets", cfg.phtSets));
-    cfg.phtWays = static_cast<uint32_t>(s.num("phtways", cfg.phtWays));
-    if (s.flag("nostream"))
-        cfg.enableStreamingModule = false;
-    if (s.flag("pht4ss")) {
-        cfg.streamingViaPht = true;
-        cfg.streamingRegionsOnly = true;
-    }
-    if (s.flag("sm4ss"))
-        cfg.streamingRegionsOnly = true;
-    if (s.flag("nobackup"))
-        cfg.enableBackupStride = false;
-    if (s.flag("loose"))
-        cfg.strictMatch = false;
-    // For n >= 3 the paper uses a 256-entry fully-associative table.
-    if (cfg.numInitialAccesses >= 3 && !s.flag("phtsets")) {
-        cfg.phtSets = 1;
-        cfg.phtWays = 256;
-    }
-    // n == 1 is the pure trigger-offset characterization ("Offset" in
-    // Figs. 1/9): everything, including dense streaming patterns,
-    // goes through the offset-indexed PHT.
-    if (cfg.numInitialAccesses == 1)
-        cfg.enableStreamingModule = false;
-    return std::make_unique<GazePrefetcher>(cfg);
-}
-
-std::unique_ptr<Prefetcher>
-makeSms(const Spec &s)
-{
-    SmsParams cfg;
-    std::string scheme = s.str("scheme", "pc+offset");
-    if (scheme == "offset") {
-        cfg.scheme = SmsEventScheme::Offset;
-        cfg.phtSets = 64;
-        cfg.phtWays = 1;
-    } else if (scheme == "pc") {
-        cfg.scheme = SmsEventScheme::Pc;
-        cfg.phtSets = 64;
-        cfg.phtWays = 4;
-    } else if (scheme == "pc+offset") {
-        cfg.scheme = SmsEventScheme::PcOffset;
-    } else if (scheme == "pc+addr") {
-        cfg.scheme = SmsEventScheme::PcAddr;
-    } else {
-        GAZE_FATAL("unknown sms scheme '", scheme, "'");
-    }
-    cfg.phtSets = static_cast<uint32_t>(s.num("phtsets", cfg.phtSets));
-    cfg.phtWays = static_cast<uint32_t>(s.num("phtways", cfg.phtWays));
-    cfg.base.regionSize = s.num("region", cfg.base.regionSize);
-    return std::make_unique<SmsPrefetcher>(cfg);
-}
-
-} // namespace
 
 std::unique_ptr<Prefetcher>
 makePrefetcher(const std::string &spec_text)
 {
-    if (spec_text.empty() || spec_text == "none")
-        return nullptr;
-
-    Spec s = parseSpec(spec_text);
-    if (s.name == "gaze")
-        return makeGaze(s);
-    if (s.name == "sms")
-        return makeSms(s);
-    if (s.name == "ip_stride")
-        return std::make_unique<IpStridePrefetcher>();
-    if (s.name == "bingo") {
-        BingoParams cfg;
-        cfg.base.regionSize = s.num("region", cfg.base.regionSize);
-        cfg.phtSets = static_cast<uint32_t>(s.num("phtsets", cfg.phtSets));
-        cfg.phtWays = static_cast<uint32_t>(s.num("phtways", cfg.phtWays));
-        return std::make_unique<BingoPrefetcher>(cfg);
-    }
-    if (s.name == "dspatch") {
-        DspatchParams cfg;
-        cfg.base.regionSize = s.num("region", cfg.base.regionSize);
-        return std::make_unique<DspatchPrefetcher>(cfg);
-    }
-    if (s.name == "pmp") {
-        PmpParams cfg;
-        cfg.base.regionSize = s.num("region", cfg.base.regionSize);
-        return std::make_unique<PmpPrefetcher>(cfg);
-    }
-    if (s.name == "ipcp")
-        return std::make_unique<IpcpPrefetcher>();
-    if (s.name == "spp_ppf")
-        return std::make_unique<SppPpfPrefetcher>();
-    if (s.name == "spp") {
-        SppParams cfg;
-        cfg.enablePpf = false;
-        return std::make_unique<SppPpfPrefetcher>(cfg);
-    }
-    if (s.name == "vberti" || s.name == "berti") {
-        BertiParams cfg;
-        if (s.flag("oracle"))
-            cfg.oracleFilter = true;
-        return std::make_unique<BertiPrefetcher>(cfg);
-    }
-
-    GAZE_FATAL("unknown prefetcher spec '", spec_text, "'");
+    return resolvePrefetcherSpec(spec_text).build();
 }
 
 std::vector<std::string>
 knownPrefetcherSpecs()
 {
-    return {"ip_stride", "spp_ppf", "ipcp", "vberti", "sms",
-            "bingo", "dspatch", "pmp", "gaze"};
+    std::vector<std::string> names;
+    for (const auto *d : PrefetcherRegistry::instance().all())
+        names.push_back(d->name);
+    return names;
 }
 
 } // namespace gaze

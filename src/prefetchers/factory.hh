@@ -1,19 +1,23 @@
 /**
  * @file
  * String-spec prefetcher factory used by the harness, benches and
- * examples. Specs have the form "name[:key[=value]]*", e.g.:
+ * examples. Specs have the form "name[:option[=value]]*" ("none" or
+ * the empty string means no prefetcher).
  *
- *   "none"                      no prefetcher
- *   "ip_stride"                 commercial baseline
- *   "sms", "bingo", "dspatch", "pmp", "ipcp", "spp_ppf", "vberti"
- *   "sms:scheme=offset:phtsets=64:phtways=1"   Fig. 1 variants
- *   "gaze"                      full Gaze
- *   "gaze:n=1"                  initial-access sweep (Fig. 4)
- *   "gaze:nostream"             Gaze-PHT (Fig. 9)
- *   "gaze:pht4ss" / "gaze:sm4ss"  streaming-module study (Fig. 10)
- *   "gaze:region=2048"          region-size sweep (Figs. 17a, 18)
- *   "gaze:phtsets=32"           PHT-size sweep (Fig. 17b)
- *   "spp"                       SPP without the perceptron filter
+ * The grammar is not listed here on purpose: every scheme declares
+ * its options — type, range/enum values, default, doc line — in a
+ * registry descriptor next to its implementation
+ * (prefetchers/registry.hh), and the authoritative, always-current
+ * table is generated from those descriptors:
+ *
+ *   gaze_sim --list-prefetchers          # human-readable
+ *   gaze_sim --list-prefetchers=json     # machine-readable
+ *   gaze_campaign describe               # same table
+ *
+ * Construction validates against the schema (unknown scheme/option,
+ * malformed or out-of-range value: fatal) and canonicalizes the
+ * spelling, so "gaze:region=2048:n=1" and "gaze:n=1:region=2048"
+ * name — and cache as — the same experiment.
  */
 
 #ifndef GAZE_PREFETCHERS_FACTORY_HH
@@ -30,11 +34,16 @@ namespace gaze
 
 /**
  * Build a prefetcher from @p spec; returns nullptr for "none"/"".
- * Unknown names or options are fatal (configuration error).
+ * Unknown names, unknown options or malformed values are fatal
+ * (configuration error). Equivalent to
+ * resolvePrefetcherSpec(spec).build().
  */
 std::unique_ptr<Prefetcher> makePrefetcher(const std::string &spec);
 
-/** All canonical single-level scheme names (for enumeration benches). */
+/**
+ * Canonical names of every registered scheme, sorted — derived from
+ * the registry, never a hand-maintained list.
+ */
 std::vector<std::string> knownPrefetcherSpecs();
 
 } // namespace gaze

@@ -1,5 +1,7 @@
 #include "prefetchers/ip_stride.hh"
 
+#include "prefetchers/registry.hh"
+
 namespace gaze
 {
 
@@ -68,6 +70,18 @@ IpStridePrefetcher::storageBits() const
 {
     // tag(12) + last block(30) + stride(7) + conf(2) per entry.
     return uint64_t(cfg.sets) * cfg.ways * (12 + 30 + 7 + 2);
+}
+
+GAZE_REGISTER_PREFETCHER(ip_stride)
+{
+    PrefetcherDescriptor d;
+    d.name = "ip_stride";
+    d.doc = "per-IP stride prefetcher (the commercial baseline the "
+            "paper normalizes against)";
+    d.build = [](const SpecOptions &) -> std::unique_ptr<Prefetcher> {
+        return std::make_unique<IpStridePrefetcher>();
+    };
+    return d;
 }
 
 } // namespace gaze

@@ -1,5 +1,7 @@
 #include "prefetchers/ipcp.hh"
 
+#include "prefetchers/registry.hh"
+
 #include "common/bitset.hh"
 
 namespace gaze
@@ -174,6 +176,18 @@ IpcpPrefetcher::storageBits() const
     uint64_t rst_bits = uint64_t(cfg.rstEntries) * (20 + 64 + 6 + 1);
     uint64_t rr_bits = uint64_t(cfg.rrEntries) * 16;
     return ip_bits + cspt_bits + rst_bits + rr_bits;
+}
+
+GAZE_REGISTER_PREFETCHER(ipcp)
+{
+    PrefetcherDescriptor d;
+    d.name = "ipcp";
+    d.doc = "IPCP (ISCA'20): per-IP classification into constant "
+            "stride / complex stride / streaming prefetch classes";
+    d.build = [](const SpecOptions &) -> std::unique_ptr<Prefetcher> {
+        return std::make_unique<IpcpPrefetcher>();
+    };
+    return d;
 }
 
 } // namespace gaze

@@ -1,5 +1,7 @@
 #include "prefetchers/pmp.hh"
 
+#include "prefetchers/registry.hh"
+
 namespace gaze
 {
 
@@ -115,6 +117,25 @@ PmpPrefetcher::storageBits() const
     uint64_t pb_bits = uint64_t(baseParams().pbEntries)
                        * (36 + 3 + 2 * regionBlocks());
     return opt_bits + ppt_bits + ft_bits + at_bits + pb_bits;
+}
+
+GAZE_REGISTER_PREFETCHER(pmp)
+{
+    PrefetcherDescriptor d;
+    d.name = "pmp";
+    d.doc = "PMP (MICRO'21): offset/PC pattern-merging with "
+            "counter-vector confidence thresholds";
+    d.options = {
+        OptionSchema::uintRange(
+            "region", 4096, 2 * blockSize, 1u << 20,
+            "spatial region size in bytes (Table IV uses 4KB)", true),
+    };
+    d.build = [](const SpecOptions &o) -> std::unique_ptr<Prefetcher> {
+        PmpParams cfg;
+        cfg.base.regionSize = o.num("region");
+        return std::make_unique<PmpPrefetcher>(cfg);
+    };
+    return d;
 }
 
 } // namespace gaze

@@ -1,5 +1,7 @@
 #include "prefetchers/sms.hh"
 
+#include "prefetchers/registry.hh"
+
 namespace gaze
 {
 
@@ -80,6 +82,61 @@ SmsPrefetcher::storageBits() const
     uint64_t pb_bits = uint64_t(baseParams().pbEntries)
                        * (36 + 3 + 2 * regionBlocks());
     return pht_bits + ft_bits + at_bits + pb_bits;
+}
+
+GAZE_REGISTER_PREFETCHER(sms)
+{
+    PrefetcherDescriptor d;
+    d.name = "sms";
+    d.doc = "Spatial Memory Streaming (ISCA'06) with the trigger "
+            "event generalized over the Fig. 1 characterization "
+            "schemes";
+    d.options = {
+        OptionSchema::enumOf(
+            "scheme", "pc+offset",
+            {"offset", "pc", "pc+offset", "pc+addr"},
+            "PHT trigger event (Fig. 1 x-axis points; pc+offset is "
+            "SMS proper)"),
+        OptionSchema::uintRange(
+            "phtsets", 0, 0, 1u << 20,
+            "PHT sets; 0 = auto for the scheme (64 for offset/pc, "
+            "1024 otherwise)",
+            true),
+        OptionSchema::uintRange(
+            "phtways", 0, 0, 4096,
+            "PHT ways; 0 = auto for the scheme (1 for offset, 4 for "
+            "pc, 16 otherwise)"),
+        OptionSchema::uintRange(
+            "region", 2048, 2 * blockSize, 1u << 20,
+            "spatial region size in bytes (Table IV uses 2KB)", true),
+    };
+    d.build = [](const SpecOptions &o) -> std::unique_ptr<Prefetcher> {
+        SmsParams cfg;
+        std::string scheme = o.str("scheme");
+        // Per-scheme PHT geometry from the paper's Fig. 1 points,
+        // unless the spec pins it explicitly.
+        uint64_t auto_sets = 1024, auto_ways = 16;
+        if (scheme == "offset") {
+            cfg.scheme = SmsEventScheme::Offset;
+            auto_sets = 64;
+            auto_ways = 1;
+        } else if (scheme == "pc") {
+            cfg.scheme = SmsEventScheme::Pc;
+            auto_sets = 64;
+            auto_ways = 4;
+        } else if (scheme == "pc+offset") {
+            cfg.scheme = SmsEventScheme::PcOffset;
+        } else {
+            cfg.scheme = SmsEventScheme::PcAddr;
+        }
+        uint64_t sets = o.num("phtsets");
+        uint64_t ways = o.num("phtways");
+        cfg.phtSets = static_cast<uint32_t>(sets ? sets : auto_sets);
+        cfg.phtWays = static_cast<uint32_t>(ways ? ways : auto_ways);
+        cfg.base.regionSize = o.num("region");
+        return std::make_unique<SmsPrefetcher>(cfg);
+    };
+    return d;
 }
 
 } // namespace gaze

@@ -1,5 +1,7 @@
 #include "prefetchers/spp_ppf.hh"
 
+#include "prefetchers/registry.hh"
+
 #include <algorithm>
 
 namespace gaze
@@ -185,9 +187,39 @@ SppPpfPrefetcher::storageBits() const
 {
     uint64_t st_bits = uint64_t(cfg.stEntries) * (16 + 12 + 6);
     uint64_t pt_bits = uint64_t(cfg.ptSets) * (4 * (7 + 4) + 6);
+    // Plain "spp" carries no perceptron tables: its budget must not
+    // include the filter it does not have.
+    if (!cfg.enablePpf)
+        return st_bits + pt_bits;
     uint64_t ppf_bits = uint64_t(numFeatures) * cfg.ppfTableSize * 6
                         + uint64_t(cfg.ppfHistory) * (30 + 16);
     return st_bits + pt_bits + ppf_bits;
+}
+
+GAZE_REGISTER_PREFETCHER(spp_ppf)
+{
+    PrefetcherDescriptor d;
+    d.name = "spp_ppf";
+    d.doc = "SPP (MICRO'16) with the PPF perceptron prefetch filter "
+            "(ISCA'19)";
+    d.build = [](const SpecOptions &) -> std::unique_ptr<Prefetcher> {
+        return std::make_unique<SppPpfPrefetcher>();
+    };
+    return d;
+}
+
+GAZE_REGISTER_PREFETCHER(spp)
+{
+    PrefetcherDescriptor d;
+    d.name = "spp";
+    d.doc = "SPP (MICRO'16) alone: the signature-path predictor "
+            "without the perceptron filter";
+    d.build = [](const SpecOptions &) -> std::unique_ptr<Prefetcher> {
+        SppParams cfg;
+        cfg.enablePpf = false;
+        return std::make_unique<SppPpfPrefetcher>(cfg);
+    };
+    return d;
 }
 
 } // namespace gaze

@@ -293,18 +293,29 @@ TEST(ResultCacheTest, KeyMismatchAndCorruptionReadAsMiss)
     {
         std::ofstream f(cache.path(hash),
                         std::ios::binary | std::ios::trunc);
-        f << "{\"schema\":1,\"key\":\"" << rec.key
-          << "\",\"ipc\":1.0,\"seconds\":0.1}";
+        f << "{\"schema\":" << kCellSchemaVersion << ",\"key\":\""
+          << rec.key << "\",\"ipc\":1.0,\"seconds\":0.1}";
     }
     why.clear();
     EXPECT_FALSE(cache.lookup(hash, rec.key, &out, &why));
     EXPECT_NE(why.find("malformed"), std::string::npos);
 
+    // A record from a previous schema version: stale, reads as miss.
+    {
+        std::ofstream f(cache.path(hash),
+                        std::ios::binary | std::ios::trunc);
+        f << "{\"schema\":" << kCellSchemaVersion - 1 << ",\"key\":\""
+          << rec.key << "\",\"ipc\":1.0,\"seconds\":0.1}";
+    }
+    why.clear();
+    EXPECT_FALSE(cache.lookup(hash, rec.key, &out, &why));
+    EXPECT_NE(why.find("schema"), std::string::npos);
+
     // Truncated/garbage file: miss with a reason, not a crash.
     {
         std::ofstream f(cache.path(hash),
                         std::ios::binary | std::ios::trunc);
-        f << "{\"schema\":1,";
+        f << "{\"schema\":" << kCellSchemaVersion << ",";
     }
     why.clear();
     EXPECT_FALSE(cache.lookup(hash, rec.key, &out, &why));

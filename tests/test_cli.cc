@@ -103,6 +103,31 @@ TEST(GazeSimCli, TraceDirRebindsWorkloads)
 
 // ---- gaze_sim: fatal error paths ------------------------------------
 
+TEST(GazeSimCli, ListPrefetchersShortCircuits)
+{
+    GazeSimOptions text = parseGazeSimArgs({"--list-prefetchers"});
+    EXPECT_EQ(text.listPrefetchers,
+              GazeSimOptions::ListPrefetchers::Text);
+    GazeSimOptions json =
+        parseGazeSimArgs({"--list-prefetchers=json"});
+    EXPECT_EQ(json.listPrefetchers,
+              GazeSimOptions::ListPrefetchers::Json);
+}
+
+TEST(GazeSimCli, PrefetchersCanonicalizeAndDedupe)
+{
+    // Aliases resolve, options sort, defaults elide — and two
+    // spellings of the same variant collapse to one matrix row.
+    GazeSimOptions opt = parseGazeSimArgs(
+        {"--prefetchers=berti,gaze:region=2048:n=1,"
+         "gaze:n=1:region=2048,gaze:region=4096",
+         "--workloads=mcf"});
+    EXPECT_EQ(opt.spec.prefetchers,
+              (std::vector<std::string>{"vberti",
+                                        "gaze:n=1:region=2048",
+                                        "gaze"}));
+}
+
 TEST(GazeSimCliDeath, UnknownFlag)
 {
     EXPECT_DEATH(parseGazeSimArgs({"--frobnicate"}),
@@ -129,6 +154,13 @@ TEST(GazeSimCliDeath, BadPrefetcherSpec)
                  "warp_drive");
     EXPECT_DEATH(parseGazeSimArgs({"--prefetchers="}),
                  "at least one spec");
+    // Schema violations die at parse time with the offending spec.
+    EXPECT_DEATH(parseGazeSimArgs({"--prefetchers=gaze:typo=1"}),
+                 "unknown option 'typo'");
+    EXPECT_DEATH(parseGazeSimArgs({"--prefetchers=gaze:n=abc"}),
+                 "unsigned integer");
+    EXPECT_DEATH(parseGazeSimArgs({"--list-prefetchers=yaml"}),
+                 "--list-prefetchers takes no value or =json");
 }
 
 TEST(GazeSimCliDeath, BadNumbers)
@@ -281,8 +313,25 @@ TEST(GazeCampaignCli, DefaultsAndOtherCommands)
               GazeCampaignOptions::Command::Help);
 }
 
+TEST(GazeCampaignCli, DescribeNeedsNoSpec)
+{
+    GazeCampaignOptions text = parseGazeCampaignArgs({"describe"});
+    EXPECT_EQ(text.command, GazeCampaignOptions::Command::Describe);
+    EXPECT_FALSE(text.jsonOutput);
+
+    GazeCampaignOptions json =
+        parseGazeCampaignArgs({"describe", "--json"});
+    EXPECT_EQ(json.command, GazeCampaignOptions::Command::Describe);
+    EXPECT_TRUE(json.jsonOutput);
+
+    EXPECT_EQ(parseGazeCampaignArgs({"describe", "--help"}).command,
+              GazeCampaignOptions::Command::Help);
+}
+
 TEST(GazeCampaignCliDeath, BadFlags)
 {
+    EXPECT_DEATH(parseGazeCampaignArgs({"describe", "--spec=s.json"}),
+                 "unknown describe option");
     EXPECT_DEATH(parseGazeCampaignArgs({"launch"}),
                  "unknown gaze_campaign command 'launch'");
     EXPECT_DEATH(parseGazeCampaignArgs({"run"}),

@@ -601,7 +601,8 @@ TEST(Factory, SmsSchemesParse)
 TEST(FactoryDeath, UnknownSpecIsFatal)
 {
     EXPECT_DEATH((void)makePrefetcher("bogus"), "unknown prefetcher");
-    EXPECT_DEATH((void)makePrefetcher("sms:scheme=nope"), "unknown sms");
+    EXPECT_DEATH((void)makePrefetcher("sms:scheme=nope"),
+                 "unknown value 'nope' for option 'scheme'");
 }
 
 // ----------------------------------------------------- storage sanity
