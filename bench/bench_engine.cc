@@ -1,0 +1,199 @@
+/**
+ * @file
+ * bench_engine — simulator-throughput benchmark for the event-driven
+ * engine. Runs representative cells under both engines (the polled
+ * reference loop and the timing-wheel event engine), verifies their
+ * metrics are bit-identical, and reports wall-clock speedup, Minstr/s
+ * and the skipped-cycle fraction per cell, writing everything to
+ * BENCH_engine.json so the perf trajectory is recorded over time.
+ *
+ * The headline case is the low-MLP pointer chase (canneal): one
+ * dependent load in flight at a time leaves almost every cycle idle,
+ * which the event engine skips in O(1).
+ *
+ *   bench_engine            full comparison (honors GAZE_SIM_SCALE)
+ *   bench_engine --quick    one short event-engine cell; asserts
+ *                           Minstr/s > 0 (the check.sh smoke)
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/log.hh"
+#include "harness/export.hh"
+#include "harness/metrics.hh"
+#include "harness/runner.hh"
+#include "workloads/suites.hh"
+
+namespace
+{
+
+using namespace gaze;
+
+struct CellReport
+{
+    std::string workload;
+    std::string prefetcher;
+    RunResult event;
+    RunResult polled;
+
+    double
+    wallSpeedup() const
+    {
+        return event.wallSeconds > 0.0
+                   ? polled.wallSeconds / event.wallSeconds
+                   : 0.0;
+    }
+};
+
+RunConfig
+configFor(EngineKind engine)
+{
+    RunConfig cfg;
+    cfg.system.engine = engine;
+    return cfg; // phase lengths come from GAZE_SIM_SCALE
+}
+
+/** Fatal unless the two runs produced identical metrics. */
+void
+checkIdentical(const CellReport &r)
+{
+    RunSummary e = summarize(r.event);
+    RunSummary p = summarize(r.polled);
+    GAZE_ASSERT(e.ipc == p.ipc && e.pfIssued == p.pfIssued
+                    && e.pfFilled == p.pfFilled
+                    && e.pfUseful == p.pfUseful
+                    && e.pfLate == p.pfLate
+                    && e.llcDemandMiss == p.llcDemandMiss,
+                "engine mismatch on ", r.workload, " x ",
+                r.prefetcher,
+                " — event and polled metrics must be bit-identical");
+}
+
+int
+quickSmoke()
+{
+    // One short cell, event engine: the check.sh / CTest smoke.
+    Runner runner(configFor(EngineKind::Event));
+    RunResult r = runner.run(findWorkload("canneal"), PfSpec{});
+    double minstr = r.minstrPerSec();
+    std::printf("bench_engine quick: canneal x none | "
+                "%.3f Minstr/s | %llu/%llu cycles skipped (%.1f%%)\n",
+                minstr,
+                static_cast<unsigned long long>(r.engine.cyclesSkipped),
+                static_cast<unsigned long long>(r.engine.cyclesTotal),
+                100.0 * r.engine.skipFraction());
+    GAZE_ASSERT(minstr > 0.0, "throughput must be positive");
+    GAZE_ASSERT(r.engine.cyclesSkipped > 0,
+                "a pointer chase must skip idle cycles");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace gaze;
+
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else
+            GAZE_FATAL("unknown option '", argv[i],
+                       "' (usage: bench_engine [--quick])");
+    }
+    if (quick)
+        return quickSmoke();
+
+    bench::banner("bench_engine",
+                  "event-driven vs polled engine throughput");
+
+    // Low-MLP pointer chases (big idle-skip win), a dense stream
+    // (little to skip: the honest lower bound), and a mixed graph
+    // workload, with and without a prefetcher.
+    const std::vector<std::string> workloads = {"canneal", "mcf",
+                                                "leslie3d", "BFS-17"};
+    const std::vector<std::string> prefetchers = {"none", "gaze"};
+
+    Runner eventRunner(configFor(EngineKind::Event));
+    Runner polledRunner(configFor(EngineKind::Polled));
+
+    std::vector<CellReport> cells;
+    for (const auto &wname : workloads) {
+        WorkloadDef w = findWorkload(wname);
+        for (const auto &pname : prefetchers) {
+            PfSpec pf;
+            if (pname != "none")
+                pf.l1 = pname;
+            CellReport r;
+            r.workload = wname;
+            r.prefetcher = pname;
+            r.polled = polledRunner.run(w, pf);
+            r.event = eventRunner.run(w, pf);
+            checkIdentical(r);
+            cells.push_back(std::move(r));
+            std::printf(
+                "%-10s x %-6s | polled %6.2f Minstr/s | event "
+                "%6.2f Minstr/s | %4.1f%% skipped | speedup %.2fx\n",
+                wname.c_str(), pname.c_str(),
+                cells.back().polled.minstrPerSec(),
+                cells.back().event.minstrPerSec(),
+                100.0 * cells.back().event.engine.skipFraction(),
+                cells.back().wallSpeedup());
+        }
+    }
+
+    std::vector<double> speedups;
+    for (const auto &c : cells)
+        speedups.push_back(c.wallSpeedup());
+    double gmean = geomean(speedups);
+    std::printf("\ngeomean wall-clock speedup (event over polled): "
+                "%.2fx — metrics bit-identical on every cell\n",
+                gmean);
+
+    JsonWriter j;
+    j.beginObject();
+    j.field("experiment", "engine");
+    j.field("scale", simScale());
+    j.field("warmup_instructions", RunConfig{}.effectiveWarmup());
+    j.field("sim_instructions", RunConfig{}.effectiveSim());
+    j.key("cells").beginArray();
+    for (const auto &c : cells) {
+        j.beginObject();
+        j.field("workload", c.workload);
+        j.field("prefetcher", c.prefetcher);
+        j.key("polled").beginObject();
+        j.field("seconds", c.polled.wallSeconds);
+        j.field("minstr_per_sec", c.polled.minstrPerSec());
+        j.field("cycles_total", c.polled.engine.cyclesTotal);
+        j.endObject();
+        j.key("event").beginObject();
+        j.field("seconds", c.event.wallSeconds);
+        j.field("minstr_per_sec", c.event.minstrPerSec());
+        j.field("cycles_total", c.event.engine.cyclesTotal);
+        j.field("cycles_executed", c.event.engine.cyclesExecuted);
+        j.field("cycles_skipped", c.event.engine.cyclesSkipped);
+        j.field("events_dispatched",
+                c.event.engine.eventsDispatched);
+        j.field("skip_fraction", c.event.engine.skipFraction());
+        j.endObject();
+        j.field("wall_speedup", c.wallSpeedup());
+        j.field("metrics_identical", true);
+        j.endObject();
+    }
+    j.endArray();
+    j.field("geomean_wall_speedup", gmean);
+    j.endObject();
+
+    JsonExport doc("engine", j.str());
+    std::string path = doc.write();
+    std::printf("results: %s\n", path.c_str());
+    return 0;
+}

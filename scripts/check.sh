@@ -68,4 +68,12 @@ GAZE_SIM_SCALE=0.02 ./src/gaze_sim --quiet \
 GAZE_SIM_SCALE=0.02 sh ../scripts/campaign_smoke.sh \
     ./src/gaze_campaign check_campaign
 
+# Engine throughput smoke: one short event-engine cell must simulate
+# at a positive Minstr/s (asserted inside the binary, printed here so
+# the gate records the number) and skip idle cycles. No pipeline: the
+# binary's exit status must reach set -e.
+GAZE_SIM_SCALE=0.02 ./bench/bench_engine --quick > engine_smoke.txt
+cat engine_smoke.txt
+grep -q "Minstr/s" engine_smoke.txt
+
 echo "check.sh: all stages passed"

@@ -102,14 +102,20 @@ ResultCache::lookup(uint64_t hash, const std::string &key,
 
     const JsonValue *ipc = doc.find("ipc");
     const JsonValue *seconds = doc.find("seconds");
+    const JsonValue *minstr = doc.find("minstr_per_sec");
     RunSummary summary;
     if (!ipc || !ipc->isNumber() || !seconds || !seconds->isNumber()
+        || !minstr || !minstr->isNumber()
         || !countField(doc, "pf_issued", &summary.pfIssued)
         || !countField(doc, "pf_filled", &summary.pfFilled)
         || !countField(doc, "pf_useful", &summary.pfUseful)
         || !countField(doc, "pf_late", &summary.pfLate)
-        || !countField(doc, "llc_demand_miss",
-                       &summary.llcDemandMiss)) {
+        || !countField(doc, "llc_demand_miss", &summary.llcDemandMiss)
+        || !countField(doc, "events_dispatched",
+                       &summary.eventsDispatched)
+        || !countField(doc, "cycles_executed", &summary.cyclesExecuted)
+        || !countField(doc, "cycles_skipped",
+                       &summary.cyclesSkipped)) {
         if (why)
             *why = file + ": malformed cell record, recomputing";
         return false;
@@ -117,6 +123,7 @@ ResultCache::lookup(uint64_t hash, const std::string &key,
 
     out->key = key;
     summary.ipc = ipc->asNumber();
+    summary.minstrPerSec = minstr->asNumber();
     out->summary = summary;
     out->seconds = seconds->asNumber();
     return true;
@@ -135,6 +142,10 @@ ResultCache::store(uint64_t hash, const CellRecord &rec) const
     j.field("pf_useful", rec.summary.pfUseful);
     j.field("pf_late", rec.summary.pfLate);
     j.field("llc_demand_miss", rec.summary.llcDemandMiss);
+    j.field("events_dispatched", rec.summary.eventsDispatched);
+    j.field("cycles_executed", rec.summary.cyclesExecuted);
+    j.field("cycles_skipped", rec.summary.cyclesSkipped);
+    j.field("minstr_per_sec", rec.summary.minstrPerSec);
     j.field("seconds", rec.seconds);
     j.endObject();
     std::string text = j.str();

@@ -318,6 +318,12 @@ GazePrefetcher::tick()
     });
 }
 
+bool
+GazePrefetcher::busy() const
+{
+    return pb && pb->drainPending();
+}
+
 uint64_t
 GazePrefetcher::storageBits() const
 {

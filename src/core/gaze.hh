@@ -65,6 +65,7 @@ class GazePrefetcher : public Prefetcher
     void onAccess(const DemandAccess &access) override;
     void onEvict(Addr paddr, Addr vaddr) override;
     void tick() override;
+    bool busy() const override;
     uint64_t storageBits() const override;
 
     const GazeConfig &config() const { return cfg; }

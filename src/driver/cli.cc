@@ -29,6 +29,12 @@ const char *gazeSimUsageText =
     "  --level=l1|l2          prefetcher attach level (default: l1)\n"
     "  --cores=N              homogeneous cores per cell (default: 1)\n"
     "  --threads=N            worker threads (default: hardware)\n"
+    "  --engine=event|polled  simulation engine (default: event, the\n"
+    "                         idle-cycle-skipping scheduler; polled is\n"
+    "                         the metrics-identical reference loop)\n"
+    "  --engine-stats         print per-cell simulation speed\n"
+    "                         (Minstr/s, skipped cycles, events) after\n"
+    "                         the matrix; the JSON always carries them\n"
     "  --warmup=N             warmup instructions per core\n"
     "  --sim=N                measured instructions per core\n"
     "  --name=ID              experiment id (default: gaze_sim)\n"
@@ -248,6 +254,10 @@ parseGazeSimArgs(const std::vector<std::string> &args)
         } else if (key == "--threads") {
             opt.spec.threads =
                 static_cast<uint32_t>(parseCount(key, val, 4096));
+        } else if (key == "--engine") {
+            opt.spec.run.system.engine = parseEngineKind(val);
+        } else if (key == "--engine-stats") {
+            opt.engineStats = true;
         } else if (key == "--warmup") {
             opt.spec.run.warmupInstr = parseCount(key, val);
         } else if (key == "--sim") {

@@ -37,6 +37,9 @@ struct GazeSimOptions
     bool showHelp = false;  ///< --help: print usage, run nothing
     bool showList = false;  ///< --list: print registries, run nothing
 
+    /** --engine-stats: print per-cell simulation speed after the run. */
+    bool engineStats = false;
+
     /** Render the prefetcher registry, run nothing. */
     ListPrefetchers listPrefetchers = ListPrefetchers::No;
 };

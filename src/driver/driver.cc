@@ -1,6 +1,7 @@
 #include "driver/driver.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -71,6 +72,8 @@ runMatrix(const MatrixSpec &spec)
     // these Runners (campaign engine, evaluate paths) deduplicates
     // against them instead of re-simulating.
     auto sharedBaselines = std::make_shared<BaselineCache>();
+    std::atomic<uint64_t> totalInstr{0}, totalEvents{0};
+    std::atomic<uint64_t> totalExecuted{0}, totalSkipped{0};
     auto runCell = [&](const WorkloadDef &w, const PfSpec &pf,
                        RunResult *out, double *secs) {
         auto t0 = std::chrono::steady_clock::now();
@@ -81,6 +84,14 @@ runMatrix(const MatrixSpec &spec)
         double dt = secondsSince(t0);
         if (secs)
             *secs = dt;
+        totalInstr.fetch_add(out->instructionsRetired,
+                             std::memory_order_relaxed);
+        totalEvents.fetch_add(out->engine.eventsDispatched,
+                              std::memory_order_relaxed);
+        totalExecuted.fetch_add(out->engine.cyclesExecuted,
+                                std::memory_order_relaxed);
+        totalSkipped.fetch_add(out->engine.cyclesSkipped,
+                               std::memory_order_relaxed);
         progress(pf.isNone() ? "baseline" : pf.label(), w.name, dt);
     };
 
@@ -119,6 +130,10 @@ runMatrix(const MatrixSpec &spec)
             c.ipc = runs[idx].ipc();
             c.baseIpc = baselines[wi].ipc();
             c.seconds = cellSeconds[idx];
+            c.eventsDispatched = runs[idx].engine.eventsDispatched;
+            c.cyclesExecuted = runs[idx].engine.cyclesExecuted;
+            c.cyclesSkipped = runs[idx].engine.cyclesSkipped;
+            c.minstrPerSec = runs[idx].minstrPerSec();
             result.cells.push_back(std::move(c));
         }
     }
@@ -156,6 +171,11 @@ runMatrix(const MatrixSpec &spec)
         }
     }
 
+    result.engine = engineKindName(spec.run.system.engine);
+    result.totalInstructions = totalInstr.load();
+    result.totalEvents = totalEvents.load();
+    result.totalCyclesExecuted = totalExecuted.load();
+    result.totalCyclesSkipped = totalSkipped.load();
     result.seconds = secondsSince(start);
     return result;
 }
@@ -174,6 +194,7 @@ matrixToJson(const MatrixSpec &spec, const MatrixResult &result)
     j.field("cores", uint64_t(spec.cores));
     j.field("level", spec.level);
     j.field("threads", uint64_t(result.threadsUsed));
+    j.field("engine", result.engine);
     // Trace provenance: where the workload streams came from, so a
     // result document is reproducible on its own. trace_dir is null
     // for generator runs (traces regenerated from RNG state).
@@ -220,6 +241,10 @@ matrixToJson(const MatrixSpec &spec, const MatrixResult &result)
         j.field("llc_miss_base", c.metrics.llcMissBase);
         j.field("llc_miss_pf", c.metrics.llcMissPf);
         j.field("seconds", c.seconds);
+        j.field("events_dispatched", c.eventsDispatched);
+        j.field("cycles_executed", c.cyclesExecuted);
+        j.field("cycles_skipped", c.cyclesSkipped);
+        j.field("minstr_per_sec", c.minstrPerSec);
         j.endObject();
     }
     j.endArray();
@@ -238,9 +263,60 @@ matrixToJson(const MatrixSpec &spec, const MatrixResult &result)
     }
     j.endArray();
 
+    // Simulation speed of the whole matrix: how fast the simulator
+    // itself ran (every matrix run reports it; bench_engine tracks it
+    // over time in BENCH_engine.json).
+    j.key("engine").beginObject();
+    j.field("kind", result.engine);
+    j.field("instructions_simulated", result.totalInstructions);
+    j.field("events_dispatched", result.totalEvents);
+    j.field("cycles_executed", result.totalCyclesExecuted);
+    j.field("cycles_skipped", result.totalCyclesSkipped);
+    uint64_t totalCycles =
+        result.totalCyclesExecuted + result.totalCyclesSkipped;
+    j.field("skip_fraction",
+            totalCycles ? double(result.totalCyclesSkipped)
+                              / double(totalCycles)
+                        : 0.0);
+    j.field("minstr_per_sec", result.minstrPerSec());
+    j.endObject();
+
     j.field("elapsed_seconds", result.seconds);
     j.endObject();
     return j.str();
+}
+
+std::string
+matrixEngineTable(const MatrixResult &result)
+{
+    TextTable t({"prefetcher", "workload", "minstr/s", "skipped",
+                 "events"});
+    for (const auto &c : result.cells) {
+        uint64_t cycles = c.cyclesExecuted + c.cyclesSkipped;
+        double skip =
+            cycles ? double(c.cyclesSkipped) / double(cycles) : 0.0;
+        t.addRow({c.prefetcher, c.workload,
+                  TextTable::fmt(c.minstrPerSec),
+                  TextTable::pct(skip),
+                  std::to_string(c.eventsDispatched)});
+    }
+    std::string out = t.toString();
+
+    uint64_t totalCycles =
+        result.totalCyclesExecuted + result.totalCyclesSkipped;
+    double skip = totalCycles ? double(result.totalCyclesSkipped)
+                                    / double(totalCycles)
+                              : 0.0;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "\nengine: %s | %.2f Minstr in %.2fs -> %.2f "
+                  "Minstr/s aggregate | %.1f%% of cycles skipped\n",
+                  result.engine.c_str(),
+                  double(result.totalInstructions) / 1e6,
+                  result.seconds, result.minstrPerSec(),
+                  100.0 * skip);
+    out += line;
+    return out;
 }
 
 std::string

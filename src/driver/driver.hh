@@ -70,6 +70,12 @@ struct CellOutcome
     double ipc = 0.0;     ///< mean IPC with the prefetcher
     double baseIpc = 0.0; ///< mean IPC of the shared baseline
     double seconds = 0.0; ///< wall time of this cell's simulation
+
+    // Engine-speed slice of this cell's run (baseline excluded).
+    uint64_t eventsDispatched = 0;
+    uint64_t cyclesExecuted = 0;
+    uint64_t cyclesSkipped = 0;
+    double minstrPerSec = 0.0;
 };
 
 /** Suite-level aggregate for one prefetcher (geomean speedup etc.). */
@@ -88,6 +94,24 @@ struct MatrixResult
     std::vector<SuiteOutcome> suites; ///< per (prefetcher, suite)
     double seconds = 0.0;             ///< wall time of the whole matrix
     uint32_t threadsUsed = 0;
+
+    // Whole-matrix engine totals, baselines included. The aggregate
+    // throughput (totalInstructions / seconds) reflects thread-pool
+    // parallelism, unlike the per-cell numbers.
+    std::string engine;               ///< "event" or "polled"
+    uint64_t totalInstructions = 0;
+    uint64_t totalEvents = 0;
+    uint64_t totalCyclesExecuted = 0;
+    uint64_t totalCyclesSkipped = 0;
+
+    /** Matrix-level Minstr/s (all simulated instructions over wall). */
+    double
+    minstrPerSec() const
+    {
+        return seconds > 0.0
+                   ? double(totalInstructions) / seconds / 1e6
+                   : 0.0;
+    }
 };
 
 /**
@@ -102,6 +126,13 @@ std::string matrixToJson(const MatrixSpec &spec, const MatrixResult &result);
 
 /** Render the per-suite summary as an aligned text table for stdout. */
 std::string matrixToTable(const MatrixResult &result);
+
+/**
+ * Render per-cell simulation-speed stats (Minstr/s, skipped-cycle
+ * fraction, events) plus the matrix aggregate: gaze_sim
+ * --engine-stats output.
+ */
+std::string matrixEngineTable(const MatrixResult &result);
 
 } // namespace gaze
 

@@ -72,9 +72,12 @@ main(int argc, char **argv)
     MatrixResult result = runMatrix(spec);
 
     std::printf("\n%s\n", matrixToTable(result).c_str());
-    std::printf("total: %zu cells in %.1fs on %u thread(s)\n",
+    if (opt.engineStats)
+        std::printf("\n%s\n", matrixEngineTable(result).c_str());
+    std::printf("total: %zu cells in %.1fs on %u thread(s), "
+                "%.2f Minstr/s\n",
                 result.cells.size(), result.seconds,
-                result.threadsUsed);
+                result.threadsUsed, result.minstrPerSec());
 
     JsonExport doc(spec.name, matrixToJson(spec, result));
     std::string path =

@@ -35,8 +35,12 @@ namespace gaze
  * registry (aliases resolved, options sorted, defaults elided), so a
  * v1 record keyed by a raw spelling must read as a miss even when its
  * spelling happened to be canonical.
+ *
+ * v3: cell records gained the engine-speed slice of RunSummary
+ * (events_dispatched, cycles_executed, cycles_skipped,
+ * minstr_per_sec); v2 records lack the fields and must recompute.
  */
-constexpr uint32_t kCellSchemaVersion = 2;
+constexpr uint32_t kCellSchemaVersion = 3;
 
 /**
  * The canonical, human-auditable identity text of one cell. Covers

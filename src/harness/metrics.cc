@@ -64,6 +64,9 @@ collectResult(System &sys, std::vector<CoreResult> cores)
     }
     r.llc = sys.llc().stats();
     r.dram = sys.dram().stats();
+    r.engine = sys.engineStats();
+    for (uint32_t c = 0; c < sys.numCores(); ++c)
+        r.instructionsRetired += sys.core(c).retired();
     return r;
 }
 
@@ -77,6 +80,10 @@ summarize(const RunResult &r)
     s.pfUseful = r.l1d.pfUseful + r.l2.pfUseful;
     s.pfLate = r.l1d.pfLate + r.l2.pfLate;
     s.llcDemandMiss = r.llc.demandMiss();
+    s.eventsDispatched = r.engine.eventsDispatched;
+    s.cyclesExecuted = r.engine.cyclesExecuted;
+    s.cyclesSkipped = r.engine.cyclesSkipped;
+    s.minstrPerSec = r.minstrPerSec();
     return s;
 }
 

@@ -36,11 +36,29 @@ struct RunResult
     CacheStats llc;
     DramStats dram;
 
+    /** Simulation-speed counters (whole run: warmup + measured). */
+    EngineStats engine;
+
+    /** Wall-clock seconds the simulation took (warmup + measured). */
+    double wallSeconds = 0.0;
+
+    /** Instructions retired across cores, warmup/replay included. */
+    uint64_t instructionsRetired = 0;
+
     /** Arithmetic-mean IPC across cores (per-core IPCs for mixes). */
     double ipc() const;
 
     /** Per-core IPC. */
     double coreIpc(uint32_t cpu) const { return cores[cpu].ipc(); }
+
+    /** Simulation throughput in million instructions per second. */
+    double
+    minstrPerSec() const
+    {
+        return wallSeconds > 0.0
+                   ? double(instructionsRetired) / wallSeconds / 1e6
+                   : 0.0;
+    }
 };
 
 /** Derived prefetching metrics for a (baseline, prefetch) run pair. */
@@ -73,6 +91,15 @@ struct RunSummary
     uint64_t pfUseful = 0;
     uint64_t pfLate = 0;
     uint64_t llcDemandMiss = 0;
+
+    // Engine-speed slice. The cycle/event counters are deterministic
+    // (the engine is bit-exact), so cached cells reproduce them;
+    // minstrPerSec is informational wall-clock throughput and is kept
+    // out of campaign report aggregation for that reason.
+    uint64_t eventsDispatched = 0;
+    uint64_t cyclesExecuted = 0;
+    uint64_t cyclesSkipped = 0;
+    double minstrPerSec = 0.0;
 };
 
 /** Reduce a full RunResult to the metric-relevant slice. */

@@ -1,5 +1,7 @@
 #include "harness/runner.hh"
 
+#include <chrono>
+
 #include "common/log.hh"
 #include "harness/cell_key.hh"
 #include "prefetchers/factory.hh"
@@ -104,10 +106,15 @@ Runner::execute(const std::vector<WorkloadDef> &mix, const PfSpec &pf)
         sys.setL2Prefetcher(c, makePrefetcher(pf.l2));
     }
 
+    auto t0 = std::chrono::steady_clock::now();
     sys.run(cfg.effectiveWarmup());
     sys.resetStats();
     auto cores = sys.simulate(cfg.effectiveSim());
-    return collectResult(sys, std::move(cores));
+    RunResult result = collectResult(sys, std::move(cores));
+    result.wallSeconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+    return result;
 }
 
 RunResult

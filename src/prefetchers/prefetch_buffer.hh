@@ -133,6 +133,12 @@ class PrefetchBuffer
     /** Pending prefetches across all regions (tests). */
     size_t pendingCount() const;
 
+    /**
+     * True while drain() could still make progress (or pop stale
+     * queue entries): the owner's busy() signal for the event engine.
+     */
+    bool drainPending() const { return !issueQueue.empty(); }
+
     /** Paper Table I storage: tag+LRU+2b/offset per entry. */
     uint64_t storageBits() const;
 

@@ -147,4 +147,10 @@ SpatialPatternPrefetcher::tick()
     });
 }
 
+bool
+SpatialPatternPrefetcher::busy() const
+{
+    return pb && pb->drainPending();
+}
+
 } // namespace gaze

@@ -56,6 +56,7 @@ class SpatialPatternPrefetcher : public Prefetcher
     void onAccess(const DemandAccess &access) override;
     void onEvict(Addr paddr, Addr vaddr) override;
     void tick() override;
+    bool busy() const override;
 
     size_t ftOccupancy() const { return ft.occupancy(); }
     size_t atOccupancy() const { return at.occupancy(); }

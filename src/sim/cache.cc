@@ -9,8 +9,8 @@ namespace gaze
 {
 
 Cache::Cache(const CacheParams &params, MemoryDevice *lower_dev,
-             const Cycle *clock_ptr)
-    : cfg(params), lower(lower_dev), clock(clock_ptr),
+             const Cycle *clock_ptr, RequestPool *pool_ptr)
+    : cfg(params), lower(lower_dev), clock(clock_ptr), pool(pool_ptr),
       blocks(size_t(params.sets) * params.ways),
       repl(makeReplacementPolicy(params.replacement, params.sets,
                                  params.ways))
@@ -21,9 +21,24 @@ Cache::Cache(const CacheParams &params, MemoryDevice *lower_dev,
     GAZE_ASSERT(cfg.mshrs >= 1, cfg.name, ": cache needs at least one MSHR");
     GAZE_ASSERT(lower != nullptr, "cache needs a lower level");
     GAZE_ASSERT(clock != nullptr, "cache needs a clock");
+    if (!pool) {
+        ownedPool = std::make_unique<RequestPool>();
+        pool = ownedPool.get();
+    }
+    // Occupancy is bounded by the MSHR count: reserving up front
+    // pins the bucket count for the cache's whole life, so the map
+    // never rehashes mid-run (and its iteration order — which decides
+    // retry precedence under congestion — never shifts as it grows).
+    mshr.reserve(size_t(cfg.mshrs) * 2);
 }
 
-Cache::~Cache() = default;
+Cache::~Cache()
+{
+    // Runs can end with fetches in flight; their waiter chains go
+    // back to the pool here so System can assert pool balance.
+    for (auto &[addr, e] : mshr)
+        pool->releaseChain(e.waitersHead);
+}
 
 void
 Cache::setPrefetcher(Prefetcher *prefetcher, VirtualMemory *vm,
@@ -84,12 +99,14 @@ Cache::sendRequest(const Request &req)
         if (readQ.size() >= cfg.rqSize)
             return false;
         readQ.push_back(r);
+        sched.requestWake(now());
         return true;
       case AccessType::Writeback:
         // Writebacks are sunk unconditionally (see DESIGN.md): a full
         // WQ would otherwise deadlock fills; occupancy is still
         // tracked so DRAM write-drain pressure is realistic.
         writeQ.push_back(r);
+        sched.requestWake(now());
         return true;
       case AccessType::Prefetch:
         if (prefetchQ.size() >= cfg.pqSize) {
@@ -97,6 +114,7 @@ Cache::sendRequest(const Request &req)
             return false;
         }
         prefetchQ.push_back(r);
+        sched.requestWake(now());
         return true;
       case AccessType::Translation:
         break;
@@ -178,6 +196,17 @@ Cache::notifyPrefetcherAccess(const Request &req, bool hit)
     pf->onAccess(a);
 }
 
+void
+Cache::appendWaiter(MshrEntry &e, const Request &req)
+{
+    RequestPool::Node *n = pool->alloc(req);
+    if (e.waitersTail)
+        e.waitersTail->next = n;
+    else
+        e.waitersHead = n;
+    e.waitersTail = n;
+}
+
 bool
 Cache::missToMshr(Request &req)
 {
@@ -192,7 +221,7 @@ Cache::missToMshr(Request &req)
             e.downstream.fillLevel =
                 std::min(e.downstream.fillLevel, req.fillLevel);
         }
-        e.waiters.push_back(req);
+        appendWaiter(e, req);
         ++stat.mshrMerge;
         return true;
     }
@@ -207,8 +236,10 @@ Cache::missToMshr(Request &req)
     e.demanded = req.isDemand();
     e.wasPrefetchOnly = !req.isDemand();
     e.allocCycle = now();
-    e.waiters.push_back(req);
+    appendWaiter(e, req);
     e.issuedToLower = lower->sendRequest(e.downstream);
+    if (!e.issuedToLower)
+        ++unissuedMshrs;
     mshr.emplace(req.paddr, std::move(e));
     return true;
 }
@@ -296,7 +327,7 @@ Cache::handlePrefetch(Request &req)
         // Already being fetched: ride along (or drop if local).
         ++stat.pfDroppedHit;
         if (req.requester) {
-            it->second.waiters.push_back(req);
+            appendWaiter(it->second, req);
             ++stat.mshrMerge;
         }
         return PfOutcome::Done;
@@ -365,11 +396,15 @@ Cache::tick()
 void
 Cache::retryUnissuedMshrs()
 {
+    if (unissuedMshrs == 0)
+        return;
     uint32_t budget = 2;
     for (auto &[addr, e] : mshr) {
         if (e.issuedToLower)
             continue;
         e.issuedToLower = lower->sendRequest(e.downstream);
+        if (e.issuedToLower)
+            --unissuedMshrs;
         if (--budget == 0)
             break;
     }
@@ -438,6 +473,7 @@ Cache::recvFill(const Request &req)
     GAZE_ASSERT(it != mshr.end(), cfg.name, ": fill without MSHR for 0x",
                 std::hex, req.paddr);
     MshrEntry e = std::move(it->second);
+    it->second.waitersHead = it->second.waitersTail = nullptr;
     mshr.erase(it);
 
     // Mark the block as a prefetch only when this level is the
@@ -449,9 +485,9 @@ Cache::recvFill(const Request &req)
     // Fill wherever level >= fillLevel (response path allocation).
     Request fill_req = e.downstream;
     // Propagate the vaddr of the first waiter that knows it.
-    for (const auto &w : e.waiters) {
-        if (w.vaddr) {
-            fill_req.vaddr = w.vaddr;
+    for (const RequestPool::Node *w = e.waitersHead; w; w = w->next) {
+        if (w->req.vaddr) {
+            fill_req.vaddr = w->req.vaddr;
             break;
         }
     }
@@ -464,11 +500,39 @@ Cache::recvFill(const Request &req)
         ++stat.demandMissLatencyCnt;
     }
 
-    // Wake all waiters one cycle later (fill-to-use forwarding).
-    for (const auto &w : e.waiters) {
-        if (w.requester)
-            scheduleResponse(w, now() + 1);
+    // Wake all waiters one cycle later (fill-to-use forwarding), then
+    // recycle the chain.
+    for (const RequestPool::Node *w = e.waitersHead; w; w = w->next) {
+        if (w->req.requester)
+            scheduleResponse(w->req, now() + 1);
     }
+    pool->releaseChain(e.waitersHead);
+
+    // This call arrives from the lower level's tick, after this
+    // cache's own tick of the cycle: anything it set in motion (the
+    // pending responses, a prefetcher pattern installed by onFill)
+    // starts next cycle.
+    sched.requestWake(now() + 1);
+}
+
+Cycle
+Cache::nextWakeCycle() const
+{
+    // Anything queued (or retryable) makes the very next cycle
+    // potentially productive — the polled engine would process it
+    // then, so the event engine must too.
+    if (!readQ.empty() || !writeQ.empty() || !prefetchQ.empty())
+        return now() + 1;
+    if (unissuedMshrs > 0)
+        return now() + 1;
+    if (pf && pf->busy())
+        return now() + 1;
+    // Quiet queues: the only self-known work is delivering already
+    // scheduled responses (all strictly in the future here, since
+    // tick() drained everything due).
+    if (!responses.empty())
+        return responses.top().ready;
+    return kNeverWake;
 }
 
 bool

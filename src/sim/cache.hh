@@ -24,9 +24,11 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/event.hh"
 #include "sim/prefetcher.hh"
 #include "sim/replacement.hh"
 #include "sim/request.hh"
+#include "sim/request_pool.hh"
 
 namespace gaze
 {
@@ -128,8 +130,13 @@ struct CacheStats
 class Cache : public MemoryDevice, public FillReceiver
 {
   public:
+    /**
+     * @param pool shared Request pool for MSHR waiter nodes; when
+     *        null the cache owns a private one (standalone caches in
+     *        unit tests).
+     */
     Cache(const CacheParams &params, MemoryDevice *lower,
-          const Cycle *clock);
+          const Cycle *clock, RequestPool *pool = nullptr);
 
     ~Cache() override;
 
@@ -161,6 +168,29 @@ class Cache : public MemoryDevice, public FillReceiver
     /** Current cycle (shared system clock). */
     Cycle now() const { return *clock; }
 
+    /**
+     * Join an event-driven System: subsequent queue/response activity
+     * self-schedules ticks instead of relying on per-cycle polling.
+     * @p priority is this cache's position in the polled tickAll()
+     * order, which same-cycle dispatch reproduces.
+     */
+    void
+    bindScheduler(EventQueue *eq, int priority)
+    {
+        sched.bind(eq, this, priority);
+    }
+
+    /** Event mode, run start: guarantee a tick at @p when. */
+    void wakeAt(Cycle when) { sched.bootstrapWake(when); }
+
+    /**
+     * Earliest future cycle at which tick() could have any effect:
+     * next cycle while any queue, unissued MSHR, or prefetcher work
+     * is pending; the next response-ready cycle otherwise; kNeverWake
+     * when only a lower-level fill can create work.
+     */
+    Cycle nextWakeCycle() const;
+
     const CacheParams &params() const { return cfg; }
     const CacheStats &stats() const { return stat; }
     void resetStats() { stat.reset(); }
@@ -189,7 +219,9 @@ class Cache : public MemoryDevice, public FillReceiver
     struct MshrEntry
     {
         Request downstream;          ///< request sent to the lower level
-        std::vector<Request> waiters;
+        /** Waiting requesters: a pooled, insertion-ordered list. */
+        RequestPool::Node *waitersHead = nullptr;
+        RequestPool::Node *waitersTail = nullptr;
         bool demanded = false;       ///< a demand access depends on it
         bool wasPrefetchOnly = false;
         bool issuedToLower = false;
@@ -235,9 +267,19 @@ class Cache : public MemoryDevice, public FillReceiver
 
     void notifyPrefetcherAccess(const Request &req, bool hit);
 
+    /** Append @p req to @p e's pooled waiter list. */
+    void appendWaiter(MshrEntry &e, const Request &req);
+
     CacheParams cfg;
     MemoryDevice *lower;
     const Cycle *clock;
+
+    TickEvent<Cache> sched;
+    RequestPool *pool;
+    std::unique_ptr<RequestPool> ownedPool;
+
+    /** MSHRs whose downstream send is still pending (retry set). */
+    uint32_t unissuedMshrs = 0;
 
     std::vector<Block> blocks;
     std::unique_ptr<ReplacementPolicy> repl;

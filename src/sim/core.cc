@@ -1,5 +1,7 @@
 #include "sim/core.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 #include "sim/vmem.hh"
 
@@ -22,6 +24,11 @@ Core::setTrace(TraceSource *t)
 void
 Core::recvFill(const Request &req)
 {
+    // Fills arrive from the L1D's tick, after this core's tick of the
+    // cycle (cores tick first): whatever they unblock starts next
+    // cycle, exactly as under the polled engine.
+    sched.requestWake(now() + 1);
+
     if (req.token & storeTokenBit) {
         GAZE_ASSERT(sqOccupancy > 0, "store completion underflow");
         --sqOccupancy;
@@ -66,8 +73,10 @@ Core::retire()
             r.requester = this;
             r.token = storeTokenBit | head.id;
             r.issueCycle = now();
-            if (!l1d->sendRequest(r))
+            if (!l1d->sendRequest(r)) {
+                issueBlockedOnL1d = true;
                 break;
+            }
             ++sqOccupancy;
             ++stat.stores;
         } else if (!head.done) {
@@ -109,8 +118,10 @@ Core::issueLoads()
         r.requester = this;
         r.token = e.id;
         r.issueCycle = now();
-        if (!l1d->sendRequest(r))
+        if (!l1d->sendRequest(r)) {
+            issueBlockedOnL1d = true;
             return; // L1D read queue full; retry next cycle
+        }
         e.issued = true;
         ++lqOccupancy;
         pendingLoadOffsets.pop_front();
@@ -158,11 +169,81 @@ Core::dispatch()
 }
 
 void
+Core::catchUpStallCounters()
+{
+    Cycle t = now();
+    if (t <= lastTickCycle + 1 || !trace)
+        return; // no skipped cycles (always true under polling)
+
+    // Skipped cycles u in [lastTickCycle+1, t-1]: the polled engine
+    // would have run dispatch() on each with unchanged state, landing
+    // in the frontend-stall branch while u < frontendStallUntil and
+    // in the ROB-full branch otherwise (a sleeping core has no third
+    // option: anything else would have made progress).
+    uint64_t skipped = t - lastTickCycle - 1;
+    uint64_t stalled = 0;
+    if (frontendStallUntil > lastTickCycle + 1) {
+        Cycle end = std::min(t, frontendStallUntil);
+        stalled = end - (lastTickCycle + 1);
+    }
+    stat.frontendStallCycles += stalled;
+    if (rob.size() >= cfg.robSize)
+        stat.robFullCycles += skipped - stalled;
+}
+
+void
 Core::tick()
 {
+    catchUpStallCounters();
+    issueBlockedOnL1d = false;
     retire();
     issueLoads();
     dispatch();
+    lastTickCycle = now();
+}
+
+Cycle
+Core::nextWakeCycle() const
+{
+    Cycle wake = kNeverWake;
+    auto consider = [&wake](Cycle c) { wake = std::min(wake, c); };
+
+    // A rejected L1D send retries next cycle: the queue drains on the
+    // cache's own clock and nothing calls back when space frees.
+    if (issueBlockedOnL1d)
+        consider(now() + 1);
+
+    if (!rob.empty()) {
+        const RobEntry &head = rob.front();
+        if (head.op == TraceOp::Store) {
+            // (Stores carry done=true from dispatch, so this case
+            // must come first.) Store retirement depends on L1D
+            // acceptance, which the core cannot observe: poll. With
+            // the SQ full it instead waits for a store completion,
+            // which wakes the core.
+            if (sqOccupancy < cfg.sqSize)
+                consider(now() + 1);
+        } else if (head.done) {
+            consider(now() + 1); // retirement can proceed
+        }
+    }
+
+    if (!pendingLoadOffsets.empty() && lqOccupancy < cfg.lqSize) {
+        uint64_t id = pendingLoadOffsets.front();
+        const RobEntry &e = rob[id - rob.front().id];
+        // A dependent load with loads outstanding unblocks via a fill
+        // (which wakes the core); anything else can try next cycle.
+        if (!(e.op == TraceOp::DependentLoad && lqOccupancy > 0))
+            consider(now() + 1);
+    }
+
+    if (trace && rob.size() < cfg.robSize) {
+        // Dispatch resumes after any frontend stall. (With the ROB
+        // full it instead waits on retirement, i.e. on a fill.)
+        consider(std::max(now() + 1, frontendStallUntil));
+    }
+
+    return wake;
 }
 
 } // namespace gaze

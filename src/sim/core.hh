@@ -15,6 +15,7 @@
 #include <deque>
 
 #include "common/types.hh"
+#include "sim/event.hh"
 #include "sim/request.hh"
 #include "sim/trace.hh"
 
@@ -68,8 +69,36 @@ class Core : public FillReceiver
     /** Total retired instructions since construction. */
     uint64_t retired() const { return retiredCount; }
 
+    /** Join an event-driven System (priority = tickAll() position). */
+    void
+    bindScheduler(EventQueue *eq, int priority)
+    {
+        sched.bind(eq, this, priority);
+    }
+
+    /** Event mode, run start: guarantee a tick at @p when. */
+    void wakeAt(Cycle when) { sched.bootstrapWake(when); }
+
+    /**
+     * Earliest future cycle a tick could retire, issue, or dispatch
+     * anything; kNeverWake when only a fill can unblock the pipeline
+     * (recvFill wakes the core then).
+     */
+    Cycle nextWakeCycle() const;
+
     const CoreStats &stats() const { return stat; }
-    void resetStats() { stat.reset(); }
+
+    /**
+     * Zero the counters. The skipped-cycle catch-up baseline resets
+     * with them so stall cycles skipped before the reset are not
+     * re-attributed after it.
+     */
+    void
+    resetStats()
+    {
+        stat.reset();
+        lastTickCycle = now() > 0 ? now() - 1 : 0;
+    }
 
     uint32_t cpuId() const { return cpu; }
 
@@ -93,6 +122,17 @@ class Core : public FillReceiver
     void issueLoads();
     void dispatch();
 
+    /**
+     * Account the stall counters for cycles the event engine skipped:
+     * the polled engine increments robFullCycles/frontendStallCycles
+     * every idle cycle, so a sleeping core adds the arithmetic
+     * equivalent on wake-up. The core state is provably unchanged
+     * across the skipped window (it slept because no tick could act,
+     * and any fill wakes it for the following cycle), which makes the
+     * catch-up exact, not an estimate.
+     */
+    void catchUpStallCounters();
+
     Cycle now() const { return *clock; }
 
     CoreParams cfg;
@@ -109,6 +149,10 @@ class Core : public FillReceiver
     uint32_t lqOccupancy = 0;
     uint32_t sqOccupancy = 0;
     Cycle frontendStallUntil = 0;
+
+    TickEvent<Core> sched;
+    Cycle lastTickCycle = 0;      ///< catch-up baseline
+    bool issueBlockedOnL1d = false; ///< l1d rejected a send this tick
 
     uint64_t retiredCount = 0;
     CoreStats stat;

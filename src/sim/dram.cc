@@ -83,11 +83,13 @@ Dram::sendRequest(const Request &req)
         // Writes are sunk unconditionally; drain mode keeps occupancy
         // bounded in practice (see Cache::sendRequest rationale).
         ch.wq.push_back(q);
+        sched.requestWake(now());
         return true;
     }
     if (ch.rq.size() >= cfg.rqSize)
         return false;
     ch.rq.push_back(q);
+    sched.requestWake(now());
     return true;
 }
 
@@ -211,8 +213,38 @@ Dram::serviceChannel(Channel &ch)
 }
 
 void
+Dram::catchUpEpochs()
+{
+    // Boundaries strictly before the current cycle: under polling
+    // each fires at exactly epochStart + epochLength (checked every
+    // cycle), publishing the busy count accumulated so far — which
+    // cannot have changed while the controller slept. Looping brings
+    // a long sleep through any number of (empty) epochs.
+    while (now() - epochStart > epochLength) {
+        double denom = double(epochLength) * cfg.channels;
+        lastEpochUtil = double(epochBusy) / denom;
+        epochBusy = 0;
+        epochStart += epochLength;
+    }
+}
+
+Cycle
+Dram::nextWakeCycle() const
+{
+    for (const auto &ch : channels) {
+        if (!ch.rq.empty() || !ch.wq.empty())
+            return now() + 1;
+    }
+    if (!completions.empty())
+        return completions.top().ready;
+    return kNeverWake;
+}
+
+void
 Dram::tick()
 {
+    catchUpEpochs();
+
     while (!completions.empty() && completions.top().ready <= now()) {
         Request r = completions.top().req;
         completions.pop();
@@ -229,8 +261,23 @@ Dram::tick()
         double denom = double(epochLength) * cfg.channels;
         lastEpochUtil = double(epochBusy) / denom;
         epochBusy = 0;
-        epochStart = now();
+        epochStart += epochLength;
     }
+}
+
+double
+Dram::recentUtilization() const
+{
+    // Readers (DSPatch, during a cache's tick) run before the
+    // controller's tick of the cycle, so only boundaries strictly in
+    // the past count — compute what catchUpEpochs() will later make
+    // official without mutating anything.
+    Cycle t = now();
+    if (t - epochStart <= epochLength)
+        return lastEpochUtil;
+    if (t - epochStart > 2 * epochLength)
+        return 0.0; // >= 2 idle boundaries passed: latest epoch empty
+    return double(epochBusy) / (double(epochLength) * cfg.channels);
 }
 
 void

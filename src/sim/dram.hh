@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/event.hh"
 #include "sim/request.hh"
 
 namespace gaze
@@ -94,9 +95,28 @@ class Dram : public MemoryDevice
     /**
      * Recent data-bus utilization in [0,1], averaged over the last
      * completed epoch (~8K cycles). DSPatch keys its CovP/AccP choice
-     * off this.
+     * off this. Epoch boundaries the controller slept across are
+     * accounted on the fly, so the answer is identical to the polled
+     * engine's no matter how many idle cycles were skipped.
      */
-    double recentUtilization() const { return lastEpochUtil; }
+    double recentUtilization() const;
+
+    /** Join an event-driven System (priority = tickAll() position). */
+    void
+    bindScheduler(EventQueue *eq, int priority)
+    {
+        sched.bind(eq, this, priority);
+    }
+
+    /** Event mode, run start: guarantee a tick at @p when. */
+    void wakeAt(Cycle when) { sched.bootstrapWake(when); }
+
+    /**
+     * Earliest future cycle a tick could issue a command or deliver a
+     * completion; kNeverWake when every queue and the completion heap
+     * are empty (sendRequest wakes the controller).
+     */
+    Cycle nextWakeCycle() const;
 
     const DramParams &params() const { return cfg; }
 
@@ -151,6 +171,13 @@ class Dram : public MemoryDevice
     Decoded decode(Addr paddr) const;
     void serviceChannel(Channel &ch);
 
+    /**
+     * Process epoch boundaries that fell strictly before the current
+     * cycle while the controller slept (the polled engine handles
+     * each at its own cycle; idle epochs publish a zero utilization).
+     */
+    void catchUpEpochs();
+
     /** Candidate pair found by a queue scan (q.size() = none). */
     struct Pick
     {
@@ -182,6 +209,8 @@ class Dram : public MemoryDevice
 
     DramParams cfg;
     const Cycle *clock;
+
+    TickEvent<Dram> sched;
 
     std::vector<Channel> channels;
     std::priority_queue<Completion, std::vector<Completion>,

@@ -1,0 +1,222 @@
+#include "sim/event.hh"
+
+#include <algorithm>
+
+namespace gaze
+{
+
+EventQueue::EventQueue(uint32_t wheel_size)
+    : wheelSize(wheel_size), wheel(wheel_size),
+      occupied((size_t(wheel_size) + 63) / 64, 0)
+{
+    GAZE_ASSERT(isPowerOfTwo(wheel_size),
+                "timing wheel size must be a power of two, got ",
+                wheel_size);
+}
+
+void
+EventQueue::setBit(size_t bucket)
+{
+    occupied[bucket >> 6] |= 1ULL << (bucket & 63);
+}
+
+void
+EventQueue::clearBit(size_t bucket)
+{
+    occupied[bucket >> 6] &= ~(1ULL << (bucket & 63));
+}
+
+void
+EventQueue::insert(const Entry &e)
+{
+    if (e.when < wheelBase + wheelSize) {
+        size_t b = bucketOf(e.when);
+        wheel[b].push_back(e);
+        setBit(b);
+    } else {
+        overflow.push(e);
+        ++stat.heapSpills;
+    }
+}
+
+void
+EventQueue::schedule(Event *ev, Cycle when)
+{
+    GAZE_ASSERT(ev != nullptr, "cannot schedule a null event");
+    GAZE_ASSERT(!ev->isScheduled, "event is already scheduled");
+    Cycle floor = inDispatch ? curCycle : wheelBase;
+    GAZE_ASSERT(when >= floor, "cannot schedule into the past (",
+                when, " < ", floor, ")");
+    // Scheduling for the cycle being dispatched is only meaningful for
+    // an event that has not run yet this cycle — re-running one would
+    // tick a component twice in one cycle.
+    GAZE_ASSERT(!(inDispatch && when == curCycle
+                  && ev->lastRun == curCycle),
+                "same-cycle reschedule of an already-dispatched event");
+
+    ev->isScheduled = true;
+    ev->whenCycle = when;
+    ev->token = nextToken++;
+    ++numScheduled;
+    ++stat.scheduled;
+    insert(Entry{when, ev->priority(), ev->token, ev});
+}
+
+void
+EventQueue::scheduleEarlier(Event *ev, Cycle when)
+{
+    if (ev->isScheduled) {
+        if (ev->whenCycle <= when)
+            return;
+        // Supersede: the old entry's token no longer matches and is
+        // dropped lazily when it surfaces.
+        ev->isScheduled = false;
+        --numScheduled;
+    }
+    schedule(ev, when);
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    if (!ev->isScheduled)
+        return;
+    ev->isScheduled = false;
+    --numScheduled;
+}
+
+Cycle
+EventQueue::nextEventCycle() const
+{
+    Cycle best = kNoEvent;
+
+    // Scan the occupancy bitmap in circular cycle order starting at
+    // the wheel base. Every flagged bucket maps to exactly one cycle
+    // in [wheelBase, wheelBase + wheelSize).
+    size_t baseBucket = bucketOf(wheelBase);
+    size_t words = occupied.size();
+    for (size_t wi = 0; wi <= words && best == kNoEvent; ++wi) {
+        size_t word = ((baseBucket >> 6) + wi) % words;
+        uint64_t bits = occupied[word];
+        if (wi == 0) {
+            // Mask off buckets before the base within the first word.
+            bits &= ~0ULL << (baseBucket & 63);
+        } else if (wi == words) {
+            // Wrapped back to the first word: only the masked-off part.
+            word = baseBucket >> 6;
+            bits = occupied[word] & ~(~0ULL << (baseBucket & 63));
+        }
+        while (bits) {
+            size_t bit = static_cast<size_t>(__builtin_ctzll(bits));
+            size_t bucket = (word << 6) | bit;
+            if (bucket < wheelSize) {
+                // bucket -> cycle within the current horizon.
+                Cycle c = wheelBase
+                          + ((bucket - baseBucket) & (wheelSize - 1));
+                best = c;
+                break;
+            }
+            bits &= bits - 1; // bucket beyond the wheel (padding bits)
+        }
+    }
+
+    if (!overflow.empty() && overflow.top().when < best)
+        best = overflow.top().when;
+    return best;
+}
+
+void
+EventQueue::refillFromHeap()
+{
+    while (!overflow.empty()
+           && overflow.top().when < wheelBase + wheelSize) {
+        Entry e = overflow.top();
+        overflow.pop();
+        if (!live(e)) {
+            ++stat.staleDropped;
+            continue;
+        }
+        size_t b = bucketOf(e.when);
+        wheel[b].push_back(e);
+        setBit(b);
+    }
+}
+
+size_t
+EventQueue::dispatchCycle(Cycle cycle)
+{
+    GAZE_ASSERT(!inDispatch, "dispatchCycle is not reentrant");
+    GAZE_ASSERT(cycle >= wheelBase, "dispatching a past cycle");
+
+    inDispatch = true;
+    curCycle = cycle;
+
+    if (cycle >= wheelBase + wheelSize) {
+        // The target lies beyond the horizon, so (cycle being the
+        // minimum) every wheel bucket is empty or stale; jump the
+        // wheel there and pull the heap in behind it.
+        for (auto &bucket : wheel) {
+            for ([[maybe_unused]] const Entry &e : bucket)
+                GAZE_ASSERT(!live(e), "live event left behind a "
+                            "beyond-horizon jump");
+            bucket.clear();
+        }
+        std::fill(occupied.begin(), occupied.end(), 0);
+        wheelBase = cycle;
+        refillFromHeap();
+    }
+
+    size_t b = bucketOf(cycle);
+    auto &bucket = wheel[b];
+    size_t dispatched = 0;
+
+    // Pop the (priority, token)-minimum live entry until none remain.
+    // Events processed here may append same-cycle entries (a core
+    // waking a downstream cache); the rescan picks them up. Buckets
+    // hold at most a handful of entries, so the quadratic scan is
+    // cheaper than keeping them sorted.
+    while (true) {
+        size_t best = bucket.size();
+        for (size_t i = 0; i < bucket.size();) {
+            const Entry &e = bucket[i];
+            GAZE_ASSERT(e.when == cycle,
+                        "foreign-cycle entry in wheel bucket");
+            if (!live(e)) {
+                ++stat.staleDropped;
+                bucket[i] = bucket.back();
+                bucket.pop_back();
+                if (best == bucket.size())
+                    best = i; // best was the moved tail entry
+                continue;
+            }
+            if (best >= bucket.size()
+                || e.prio < bucket[best].prio
+                || (e.prio == bucket[best].prio
+                    && e.token < bucket[best].token))
+                best = i;
+            ++i;
+        }
+        if (best >= bucket.size())
+            break;
+
+        Event *ev = bucket[best].ev;
+        bucket[best] = bucket.back();
+        bucket.pop_back();
+
+        ev->isScheduled = false;
+        ev->lastRun = cycle;
+        --numScheduled;
+        ++stat.dispatched;
+        ++dispatched;
+        ev->process();
+    }
+
+    bucket.clear();
+    clearBit(b);
+    wheelBase = cycle + 1;
+    refillFromHeap();
+    inDispatch = false;
+    return dispatched;
+}
+
+} // namespace gaze

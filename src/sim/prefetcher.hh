@@ -117,6 +117,14 @@ class Prefetcher
     /** Advance one cycle (prefetch buffers drain here). */
     virtual void tick() {}
 
+    /**
+     * True while tick() has pending work (a prefetch buffer still
+     * draining). The event-driven engine keeps the attached cache
+     * ticking every cycle this returns true; schemes whose tick() is
+     * a no-op keep the default and never force a wake-up.
+     */
+    virtual bool busy() const { return false; }
+
     /** Metadata storage in bits, for the Table I / Table IV benches. */
     virtual uint64_t storageBits() const { return 0; }
 

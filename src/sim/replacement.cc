@@ -96,7 +96,37 @@ makeReplacementPolicy(const std::string &name, uint32_t sets, uint32_t ways)
         return std::make_unique<SrripPolicy>(sets, ways);
     if (name == "random")
         return std::make_unique<RandomPolicy>(sets, ways);
-    GAZE_FATAL("unknown replacement policy '", name, "'");
+    GAZE_FATAL("unknown replacement policy '", name, "' (known: ",
+               knownReplacementPolicyList(), ")");
+}
+
+const std::vector<std::string> &
+knownReplacementPolicies()
+{
+    static const std::vector<std::string> names = {"lru", "srrip",
+                                                   "random"};
+    return names;
+}
+
+bool
+isKnownReplacementPolicy(const std::string &name)
+{
+    for (const auto &n : knownReplacementPolicies())
+        if (n == name)
+            return true;
+    return false;
+}
+
+std::string
+knownReplacementPolicyList()
+{
+    std::string out;
+    for (const auto &n : knownReplacementPolicies()) {
+        if (!out.empty())
+            out += ", ";
+        out += n;
+    }
+    return out;
 }
 
 } // namespace gaze

@@ -104,6 +104,15 @@ class RandomPolicy : public ReplacementPolicy
 std::unique_ptr<ReplacementPolicy>
 makeReplacementPolicy(const std::string &name, uint32_t sets, uint32_t ways);
 
+/** Every name makeReplacementPolicy accepts, in listing order. */
+const std::vector<std::string> &knownReplacementPolicies();
+
+/** True when @p name names a registered policy. */
+bool isKnownReplacementPolicy(const std::string &name);
+
+/** "lru, srrip, random" — for diagnostics naming the alternatives. */
+std::string knownReplacementPolicyList();
+
 } // namespace gaze
 
 #endif // GAZE_SIM_REPLACEMENT_HH

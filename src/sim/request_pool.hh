@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Free-list pool of Request nodes for the MSHR waiter lists on the
+ * L1D -> L2C -> LLC -> DRAM path. Every cache miss used to allocate a
+ * std::vector<Request> per MSHR entry (and grow it per merged
+ * waiter); with the pool, waiter nodes are recycled through a
+ * singly-linked free list and the steady state allocates nothing.
+ *
+ * The pool tracks its outstanding-node count so end-of-run teardown
+ * can assert balance: every node taken was returned, or an MSHR
+ * leaked its waiters (System's destructor checks this, and the
+ * --sanitize gate runs the same check under ASan).
+ */
+
+#ifndef GAZE_SIM_REQUEST_POOL_HH
+#define GAZE_SIM_REQUEST_POOL_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/log.hh"
+#include "sim/request.hh"
+
+namespace gaze
+{
+
+/** Recycling allocator for intrusive Request waiter lists. */
+class RequestPool
+{
+  public:
+    /** One pooled request: the payload plus the intrusive link. */
+    struct Node
+    {
+        Request req;
+        Node *next = nullptr;
+    };
+
+    RequestPool() = default;
+
+    RequestPool(const RequestPool &) = delete;
+    RequestPool &operator=(const RequestPool &) = delete;
+
+    /** Take a node holding a copy of @p r (free list first). */
+    Node *
+    alloc(const Request &r)
+    {
+        Node *n = freeHead;
+        if (n) {
+            freeHead = n->next;
+        } else {
+            if (slabs.empty() || slabUsed == slabNodes) {
+                slabs.push_back(
+                    std::make_unique<Node[]>(slabNodes));
+                slabUsed = 0;
+            }
+            n = &slabs.back()[slabUsed++];
+        }
+        n->req = r;
+        n->next = nullptr;
+        ++liveNodes;
+        return n;
+    }
+
+    /** Return one node to the free list. */
+    void
+    release(Node *n)
+    {
+        GAZE_ASSERT(liveNodes > 0, "request pool double free");
+        n->next = freeHead;
+        freeHead = n;
+        --liveNodes;
+    }
+
+    /** Return a whole waiter chain starting at @p head. */
+    void
+    releaseChain(Node *head)
+    {
+        while (head) {
+            Node *next = head->next;
+            release(head);
+            head = next;
+        }
+    }
+
+    /** Nodes currently handed out (0 after a clean teardown). */
+    size_t outstanding() const { return liveNodes; }
+
+    /** Nodes ever created (pool growth; reuse keeps this flat). */
+    size_t
+    allocated() const
+    {
+        return slabs.empty()
+                   ? 0
+                   : (slabs.size() - 1) * slabNodes + slabUsed;
+    }
+
+  private:
+    static constexpr size_t slabNodes = 64;
+
+    std::vector<std::unique_ptr<Node[]>> slabs;
+    size_t slabUsed = 0;
+    Node *freeHead = nullptr;
+    size_t liveNodes = 0;
+};
+
+} // namespace gaze
+
+#endif // GAZE_SIM_REQUEST_POOL_HH

@@ -5,10 +5,35 @@
 namespace gaze
 {
 
+const char *
+engineKindName(EngineKind kind)
+{
+    return kind == EngineKind::Event ? "event" : "polled";
+}
+
+EngineKind
+parseEngineKind(const std::string &name)
+{
+    if (name == "event")
+        return EngineKind::Event;
+    if (name == "polled")
+        return EngineKind::Polled;
+    GAZE_FATAL("unknown simulation engine '", name,
+               "' (known: event, polled)");
+}
+
 System::System(const SystemConfig &config)
     : cfg(config), vm(34)
 {
     GAZE_ASSERT(cfg.numCores >= 1 && cfg.numCores <= 64, "bad core count");
+    // Validate the replacement policy eagerly, before any cache is
+    // built, so a bad campaign/CLI string dies here with the full
+    // list instead of surfacing from some worker mid-run (mirrors the
+    // prefetcher registry's unknown-scheme diagnostics).
+    if (!isKnownReplacementPolicy(cfg.replacement))
+        GAZE_FATAL("unknown replacement policy '", cfg.replacement,
+                   "' in SystemConfig (known: ",
+                   knownReplacementPolicyList(), ")");
 
     DramParams dp = cfg.dramAuto ? DramParams::forCores(cfg.numCores)
                                  : cfg.dram;
@@ -31,7 +56,8 @@ System::System(const SystemConfig &config)
     llc_p.wqSize = 64 * cfg.numCores;
     llc_p.pqSize = 32 * cfg.numCores;
     llc_p.replacement = cfg.replacement;
-    llcCache = std::make_unique<Cache>(llc_p, dramCtrl.get(), &clock);
+    llcCache = std::make_unique<Cache>(llc_p, dramCtrl.get(), &clock,
+                                       &pool);
 
     for (uint32_t c = 0; c < cfg.numCores; ++c) {
         CacheParams l2_p;
@@ -46,7 +72,7 @@ System::System(const SystemConfig &config)
         l2_p.pqSize = 16;
         l2_p.replacement = cfg.replacement;
         l2s.push_back(std::make_unique<Cache>(l2_p, llcCache.get(),
-                                              &clock));
+                                              &clock, &pool));
 
         CacheParams l1_p;
         l1_p.name = "L1D" + std::to_string(c);
@@ -60,15 +86,42 @@ System::System(const SystemConfig &config)
         l1_p.pqSize = 8;
         l1_p.replacement = cfg.replacement;
         l1ds.push_back(std::make_unique<Cache>(l1_p, l2s.back().get(),
-                                               &clock));
+                                               &clock, &pool));
 
         cores.push_back(std::make_unique<Core>(cfg.core, c,
                                                l1ds.back().get(), &vm,
                                                &clock));
     }
+
+    if (cfg.engine == EngineKind::Event) {
+        // Priorities reproduce tickAll()'s fixed order: all cores,
+        // then L1Ds, L2s, the LLC, DRAM last — so same-cycle events
+        // dispatch exactly as the polled engine ticks.
+        int n = static_cast<int>(cfg.numCores);
+        for (uint32_t c = 0; c < cfg.numCores; ++c) {
+            cores[c]->bindScheduler(&eq, static_cast<int>(c));
+            l1ds[c]->bindScheduler(&eq, n + static_cast<int>(c));
+            l2s[c]->bindScheduler(&eq, 2 * n + static_cast<int>(c));
+        }
+        llcCache->bindScheduler(&eq, 3 * n);
+        dramCtrl->bindScheduler(&eq, 3 * n + 1);
+    }
 }
 
-System::~System() = default;
+System::~System()
+{
+    // Tear the hierarchy down first so every in-flight MSHR returns
+    // its waiter chain, then hold the pool to its balance contract:
+    // anything still outstanding is a leaked Request.
+    cores.clear();
+    l1ds.clear();
+    l2s.clear();
+    llcCache.reset();
+    dramCtrl.reset();
+    GAZE_ASSERT(pool.outstanding() == 0,
+                "request pool imbalance at teardown: ",
+                pool.outstanding(), " node(s) leaked");
+}
 
 void
 System::setTrace(uint32_t cpu, TraceSource *trace)
@@ -109,6 +162,62 @@ System::tickAll()
     llcCache->tick();
     dramCtrl->tick();
     ++clock;
+    ++executedCycles;
+    dispatchedEvents += 3 * uint64_t(cfg.numCores) + 2;
+}
+
+void
+System::scheduleAll()
+{
+    // Arm every component at the current cycle so a (re)started run
+    // considers it, exactly like the polled engine's unconditional
+    // first tickAll(). Anything already scheduled earlier keeps its
+    // slot; anything stranded in the past by a cycle-cap jump is
+    // pulled forward.
+    for (auto &c : cores)
+        c->wakeAt(clock);
+    for (auto &c : l1ds)
+        c->wakeAt(clock);
+    for (auto &c : l2s)
+        c->wakeAt(clock);
+    llcCache->wakeAt(clock);
+    dramCtrl->wakeAt(clock);
+}
+
+template <typename DoneFn, typename PostCycleFn>
+bool
+System::eventLoop(uint64_t cap, DoneFn &&done, PostCycleFn &&post)
+{
+    scheduleAll();
+    while (!done()) {
+        Cycle next = eq.nextEventCycle();
+        if (next == EventQueue::kNoEvent) {
+            // Every component asleep with targets unmet: the polled
+            // engine would spin no-op cycles to the cap; jump there.
+            clock = cap;
+            return false;
+        }
+        if (next < clock) {
+            // A cycle flagged only by superseded entries (lazy
+            // deschedule): drain it without touching the clock.
+            size_t stale = eq.dispatchCycle(next);
+            GAZE_ASSERT(stale == 0, "live event behind the clock");
+            continue;
+        }
+        if (next >= cap) {
+            clock = cap;
+            return false;
+        }
+        clock = next;
+        size_t n = eq.dispatchCycle(next);
+        clock = next + 1;
+        if (n > 0) {
+            ++executedCycles;
+            dispatchedEvents += n;
+            post();
+        }
+    }
+    return true;
 }
 
 void
@@ -120,15 +229,22 @@ System::run(uint64_t instr_per_core)
 
     uint64_t cap = clock + instr_per_core * cfg.maxCyclesPerInstr
                    + 1000000;
-    while (true) {
-        bool all_done = true;
+    auto all_done = [&] {
         for (uint32_t c = 0; c < cfg.numCores; ++c) {
-            if (cores[c]->retired() < target[c]) {
-                all_done = false;
-                break;
-            }
+            if (cores[c]->retired() < target[c])
+                return false;
         }
-        if (all_done)
+        return true;
+    };
+
+    if (cfg.engine == EngineKind::Event) {
+        if (!eventLoop(cap, all_done, [] {}))
+            GAZE_WARN("run() hit the cycle cap; simulation wedged?");
+        return;
+    }
+
+    while (true) {
+        if (all_done())
             return;
         if (clock >= cap) {
             GAZE_WARN("run() hit the cycle cap; simulation wedged?");
@@ -165,8 +281,8 @@ System::simulate(uint64_t instr_per_core)
     uint64_t cap = clock + instr_per_core * cfg.maxCyclesPerInstr
                    + 1000000;
     uint32_t remaining = cfg.numCores;
-    while (remaining > 0 && clock < cap) {
-        tickAll();
+
+    auto recordFinishers = [&] {
         for (uint32_t c = 0; c < cfg.numCores; ++c) {
             if (finished[c])
                 continue;
@@ -177,7 +293,18 @@ System::simulate(uint64_t instr_per_core)
                 --remaining;
             }
         }
+    };
+
+    if (cfg.engine == EngineKind::Event) {
+        eventLoop(cap, [&] { return remaining == 0; },
+                  recordFinishers);
+    } else {
+        while (remaining > 0 && clock < cap) {
+            tickAll();
+            recordFinishers();
+        }
     }
+
     if (remaining > 0)
         GAZE_WARN("simulate() hit the cycle cap with ", remaining,
                   " cores unfinished");
@@ -188,6 +315,18 @@ System::simulate(uint64_t instr_per_core)
         }
     }
     return out;
+}
+
+EngineStats
+System::engineStats() const
+{
+    EngineStats s;
+    s.eventDriven = cfg.engine == EngineKind::Event;
+    s.cyclesTotal = clock;
+    s.cyclesExecuted = executedCycles;
+    s.cyclesSkipped = clock - executedCycles;
+    s.eventsDispatched = dispatchedEvents;
+    return s;
 }
 
 } // namespace gaze

@@ -17,17 +17,40 @@
 #include "sim/cache.hh"
 #include "sim/core.hh"
 #include "sim/dram.hh"
+#include "sim/event.hh"
 #include "sim/prefetcher.hh"
+#include "sim/request_pool.hh"
 #include "sim/trace.hh"
 #include "sim/vmem.hh"
 
 namespace gaze
 {
 
+/**
+ * How the system advances time. Both engines produce bit-identical
+ * metrics (test_engine asserts it); Event skips idle cycles and is
+ * the default, Polled ticks every component every cycle and remains
+ * as the reference implementation and bench_engine baseline.
+ */
+enum class EngineKind
+{
+    Event, ///< timing-wheel scheduler, idle cycles skipped in O(1)
+    Polled ///< classic tickAll() loop
+};
+
+/** CLI name of an engine ("event" / "polled"). */
+const char *engineKindName(EngineKind kind);
+
+/** Parse an --engine= value; fatal on anything unknown. */
+EngineKind parseEngineKind(const std::string &name);
+
 /** Full-system configuration (Table II defaults). */
 struct SystemConfig
 {
     uint32_t numCores = 1;
+
+    /** Simulation engine (results are identical either way). */
+    EngineKind engine = EngineKind::Event;
 
     CoreParams core;
 
@@ -57,6 +80,33 @@ struct SystemConfig
 
     /** Safety valve: abort a run after this many cycles per instr. */
     uint64_t maxCyclesPerInstr = 2000;
+};
+
+/**
+ * Simulation-speed counters over a System's lifetime (warmup included;
+ * deterministic for a given engine, so they cache and compare cleanly).
+ */
+struct EngineStats
+{
+    bool eventDriven = true;
+    uint64_t cyclesTotal = 0;      ///< simulated cycles (clock)
+    uint64_t cyclesExecuted = 0;   ///< cycles at least one event ran
+    uint64_t cyclesSkipped = 0;    ///< idle cycles jumped over
+    uint64_t eventsDispatched = 0; ///< component ticks performed
+
+    const char *
+    kindName() const
+    {
+        return eventDriven ? "event" : "polled";
+    }
+
+    double
+    skipFraction() const
+    {
+        return cyclesTotal
+                   ? double(cyclesSkipped) / double(cyclesTotal)
+                   : 0.0;
+    }
 };
 
 /** Per-core outcome of a measured simulation interval. */
@@ -111,6 +161,12 @@ class System
     uint32_t numCores() const { return cfg.numCores; }
     Cycle cycle() const { return clock; }
 
+    /** Simulation-speed counters (never reset by resetStats). */
+    EngineStats engineStats() const;
+
+    /** The shared MSHR-waiter pool (leak checks in tests). */
+    const RequestPool &requestPool() const { return pool; }
+
     Core &core(uint32_t cpu) { return *cores[cpu]; }
     Cache &l1d(uint32_t cpu) { return *l1ds[cpu]; }
     Cache &l2(uint32_t cpu) { return *l2s[cpu]; }
@@ -123,8 +179,31 @@ class System
   private:
     void tickAll();
 
+    /** Event mode: make sure every component considers cycle `clock`. */
+    void scheduleAll();
+
+    /**
+     * Event-driven inner loop shared by run() and simulate(): advance
+     * the clock to each next event cycle and dispatch it, until
+     * @p done returns true (checked between cycles, exactly where the
+     * polled loops check) or the cycle cap is hit. Returns false on a
+     * cap/wedge stop.
+     */
+    template <typename DoneFn, typename PostCycleFn>
+    bool eventLoop(uint64_t cap, DoneFn &&done, PostCycleFn &&post);
+
     SystemConfig cfg;
     Cycle clock = 0;
+
+    // Scheduler and pool are declared before the components so they
+    // outlive them: component destructors return waiter chains to the
+    // pool, and dangling tick events must never outlive the queue.
+    EventQueue eq;
+    RequestPool pool;
+
+    // Engine-speed accounting (see EngineStats).
+    uint64_t executedCycles = 0;
+    uint64_t dispatchedEvents = 0;
 
     VirtualMemory vm;
     std::unique_ptr<Dram> dramCtrl;
