@@ -5,8 +5,7 @@
  * All benches honor GAZE_SIM_SCALE for trace/interval scaling.
  */
 
-#ifndef GAZE_BENCH_BENCH_UTIL_HH
-#define GAZE_BENCH_BENCH_UTIL_HH
+#pragma once
 
 #include <cstdio>
 #include <string>
@@ -73,5 +72,3 @@ speedupOver(Runner &runner, const std::vector<std::string> &names,
 }
 
 } // namespace gaze::bench
-
-#endif // GAZE_BENCH_BENCH_UTIL_HH

@@ -1,53 +1,132 @@
 #!/usr/bin/env sh
 # Fast local gate, run from the repository root: ./scripts/check.sh
 #
-# Builds everything, runs the tier-1-labeled CTest set (the "slow"
-# label — long paper-claim sweeps — is what full `ctest` adds on top,
-# which is the exact tier-1 verify line from ROADMAP.md), then smokes
-# the trace record -> replay path and the campaign cache end to end.
-# set -e plus --stop-on-failure makes every stage fail fast on the
-# first error.
+# Stages, in fail-fast order:
+#   1. gaze_lint            determinism/hygiene linter (pure python,
+#                           runs before any compile time is spent)
+#   2. configure + build    with GAZE_WERROR=ON: the hardened warning
+#                           set (-Wall -Wextra -Wshadow
+#                           -Wnon-virtual-dtor -Wextra-semi
+#                           -Wsuggest-override) is part of the gate
+#   3. ctest -L tier1       the fast test set ("slow" label is what a
+#                           full `ctest` adds on top)
+#   4. smokes               registry JSON contract (registry_check.py),
+#                           trace record->validate->replay, campaign
+#                           cache, engine throughput
 #
-#   ./scripts/check.sh             # normal gate, build/
-#   ./scripts/check.sh --sanitize  # same gate under ASan+UBSan, in
-#                                  # build-sanitize/ (slower; run on
-#                                  # memory-touching changes)
+# Variants:
+#   ./scripts/check.sh                    normal gate, build/
+#   ./scripts/check.sh --sanitize         ASan+UBSan gate (alias for
+#                                         --sanitize=address),
+#                                         build-sanitize/
+#   ./scripts/check.sh --sanitize=thread  TSan gate, build-sanitize-
+#                                         thread/: builds everything
+#                                         and runs the concurrency-
+#                                         labeled tests (ThreadPool /
+#                                         BaselineCache / campaign-
+#                                         shard stress) race-clean
+#   ./scripts/check.sh --tidy             clang-tidy over src/ against
+#                                         compile_commands.json
+#   ./scripts/check.sh --format           clang-format --dry-run
+#                                         -Werror (diff-only, never
+#                                         rewrites)
+#
+# --tidy and --format SKIP with a notice when the tool is not
+# installed (this container ships only GCC); they fail loudly on any
+# finding where the tools exist. Everything else has no external
+# dependencies beyond cmake/g++/python3.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
-CMAKE_EXTRA=""
+CMAKE_EXTRA="-DGAZE_WERROR=ON"
+RUN_TIDY=0
+RUN_FORMAT=0
+TSAN=0
 for arg in "$@"; do
     case "$arg" in
-      --sanitize)
+      --sanitize|--sanitize=address)
         BUILD_DIR=build-sanitize
-        CMAKE_EXTRA="-DGAZE_SANITIZE=ON"
+        CMAKE_EXTRA="-DGAZE_SANITIZE=address"
+        ;;
+      --sanitize=thread)
+        BUILD_DIR=build-sanitize-thread
+        CMAKE_EXTRA="-DGAZE_SANITIZE=thread"
+        TSAN=1
+        ;;
+      --tidy)
+        RUN_TIDY=1
+        ;;
+      --format)
+        RUN_FORMAT=1
         ;;
       *)
-        echo "usage: $0 [--sanitize]" >&2
+        echo "usage: $0 [--sanitize[=address|thread]] [--tidy] [--format]" >&2
         exit 2
         ;;
     esac
 done
 
-# $CMAKE_EXTRA is deliberately unquoted: empty means no extra flag.
+# Stage 1: the linter gates everything — it is pure python and fails
+# in under a second, before any compile time is spent.
+echo "== gaze_lint =="
+python3 scripts/lint/gaze_lint.py
+
+if [ "$RUN_FORMAT" = 1 ]; then
+    echo "== clang-format (diff-only) =="
+    if command -v clang-format >/dev/null 2>&1; then
+        # shellcheck disable=SC2046
+        clang-format --dry-run -Werror \
+            $(find src bench tests examples \
+                -name '*.cc' -o -name '*.hh' -o -name '*.cpp')
+        echo "clang-format: clean"
+    else
+        echo "clang-format: not installed, stage SKIPPED"
+    fi
+fi
+
+# $CMAKE_EXTRA is deliberately unquoted: it is a flag list.
 # shellcheck disable=SC2086
 cmake -B "$BUILD_DIR" -S . $CMAKE_EXTRA
 cmake --build "$BUILD_DIR" -j
 
+if [ "$RUN_TIDY" = 1 ]; then
+    echo "== clang-tidy =="
+    if command -v clang-tidy >/dev/null 2>&1; then
+        # shellcheck disable=SC2046
+        clang-tidy -p "$BUILD_DIR" --quiet \
+            $(find src -name '*.cc')
+        echo "clang-tidy: clean"
+    else
+        echo "clang-tidy: not installed, stage SKIPPED"
+    fi
+fi
+
 cd "$BUILD_DIR"
+
+if [ "$TSAN" = 1 ]; then
+    # The TSan gate is focused: the concurrency-labeled tests hammer
+    # the ThreadPool, the shared BaselineCache and two in-process
+    # campaign shards publishing into one cache dir. Simulation-heavy
+    # tier1 tests run 10-20x slower under TSan and exercise no
+    # threading the stress tests don't; the address gate covers them.
+    ctest -L concurrency --output-on-failure --stop-on-failure
+    echo "check.sh: TSan gate passed"
+    exit 0
+fi
+
 ctest -L tier1 --output-on-failure --stop-on-failure -j
 
 # Prefetcher-registry smoke (runs under the sanitize gate too):
 # rendering the JSON listing round-trips every registered scheme
 # through the registry — parse, canonicalize, build, storageBits() —
-# so a bad registration or schema dies here before anything simulates.
+# and registry_check.py asserts the contract on the result: every
+# scheme has a canonical spelling, a sane storage_kib and non-empty
+# docs.
 ./src/gaze_sim --list-prefetchers=json > registry.json
-grep -q '"name":"gaze"' registry.json
-grep -q '"name":"vberti"' registry.json
-grep -q '"storage_kib":' registry.json
-grep -q '"canonical":"gaze"' registry.json
+python3 ../scripts/lint/registry_check.py \
+    --require=gaze,vberti,sms,dspatch,ip_stride registry.json
 ./src/gaze_campaign describe > /dev/null
 
 # Trace subsystem smoke: record two workloads, validate the files,

@@ -1,0 +1,18 @@
+// Fixture: a perfectly ordinary header. The prose below mentions
+// std::unordered_map, rand() and steady_clock::now() — comments and
+// string literals must never trip a rule.
+#pragma once
+
+#include <map>
+#include <string>
+
+inline std::string
+describe()
+{
+    return "uses rand() and steady_clock::now() at runtime: no";
+}
+
+struct Ordered
+{
+    std::map<int, std::string> rows;
+};

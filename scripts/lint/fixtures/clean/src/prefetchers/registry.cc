@@ -1,0 +1,8 @@
+// Fixture registry.cc for the clean tree: one anchor per
+// registration, nothing stale.
+struct PrefetcherRegistrar;
+extern PrefetcherRegistrar gazePrefetcherRegistrar_tidy;
+
+const PrefetcherRegistrar *const kSchemeAnchors[] = {
+    &gazePrefetcherRegistrar_tidy,
+};

@@ -1,0 +1,5 @@
+// Fixture: a clean tree — registration with a matching anchor, no
+// determinism hazards anywhere.
+#define GAZE_REGISTER_PREFETCHER(x) int registered_##x = 1;
+
+GAZE_REGISTER_PREFETCHER(tidy)

@@ -1,0 +1,18 @@
+// Fixture: a justified allow() on the same line, one on the
+// preceding line, and one multi-line comment block — all honored.
+#include <chrono>
+#include <ctime>
+
+double
+probes()
+{
+    auto a = std::chrono::steady_clock::now(); // gaze-lint: allow(wall-clock): host-only probe for a local progress meter
+    // gaze-lint: allow(wall-clock): seeding a log banner, not state
+    auto b = std::time(nullptr);
+    // gaze-lint: allow(wall-clock): this reading feeds an advisory
+    // stderr line only; nothing simulated or published sees it.
+    auto c = std::chrono::steady_clock::now();
+    (void)a;
+    (void)c;
+    return double(b);
+}

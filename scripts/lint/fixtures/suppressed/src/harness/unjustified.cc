@@ -1,0 +1,15 @@
+// Fixture: allow() without a justification is itself a finding, and
+// a typo'd rule id suppresses nothing.
+#include <chrono>
+
+double
+bad()
+{
+    // gaze-lint: allow(wall-clock)
+    auto a = std::chrono::steady_clock::now(); // line 9: finding
+    // gaze-lint: allow(wallclock-typo): not a real rule id
+    auto b = std::chrono::steady_clock::now(); // line 11: finding
+    (void)a;
+    (void)b;
+    return 0.0;
+}

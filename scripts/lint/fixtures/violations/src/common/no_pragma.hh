@@ -1,0 +1,9 @@
+// Fixture: pragma-once — header with a legacy ifndef guard only.
+#ifndef FIXTURE_NO_PRAGMA_HH
+#define FIXTURE_NO_PRAGMA_HH
+
+struct Empty
+{
+};
+
+#endif // FIXTURE_NO_PRAGMA_HH

@@ -1,0 +1,6 @@
+// Fixture: using-namespace-header.
+#pragma once
+
+#include <string>
+
+using namespace std; // line 6: finding

@@ -1,0 +1,14 @@
+// Fixture: unordered-in-output — unordered container in an
+// ordered-output (published bytes) file.
+#include <string>
+#include <unordered_map>
+
+std::string
+renderReport()
+{
+    std::unordered_map<int, std::string> rows; // line 9: finding
+    std::string out;
+    for (const auto &kv : rows)
+        out += kv.second;
+    return out;
+}

@@ -1,0 +1,11 @@
+// Fixture: wall-clock — reads the host clock outside the shim.
+#include <chrono>
+#include <cstdlib>
+
+double
+elapsed()
+{
+    auto t0 = std::chrono::steady_clock::now(); // line 8: finding
+    (void)t0;
+    return std::rand() % 100; // line 10: finding
+}

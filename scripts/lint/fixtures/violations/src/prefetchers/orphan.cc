@@ -1,0 +1,6 @@
+// Fixture: register-anchor — a scheme registered without a matching
+// force-link anchor in prefetchers/registry.cc.
+#define GAZE_REGISTER_PREFETCHER(x) int registered_##x = 1;
+
+GAZE_REGISTER_PREFETCHER(orphan) // line 5: finding (no anchor)
+GAZE_REGISTER_PREFETCHER(good)   // line 6: clean (anchored)

@@ -1,0 +1,10 @@
+// Fixture registry.cc: anchors `good`, lacks `orphan`, and carries a
+// stale anchor for a scheme nothing registers any more.
+struct PrefetcherRegistrar;
+extern PrefetcherRegistrar gazePrefetcherRegistrar_good;
+extern PrefetcherRegistrar gazePrefetcherRegistrar_stale;
+
+const PrefetcherRegistrar *const kSchemeAnchors[] = {
+    &gazePrefetcherRegistrar_good,
+    &gazePrefetcherRegistrar_stale, // line 9: finding (stale anchor)
+};

@@ -1,0 +1,18 @@
+// Fixture: pointer-order — ordered container keyed by pointer value.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+struct Widget;
+
+struct Sched
+{
+    std::map<Widget *, int> byOwner; // line 11: finding
+
+    static uint64_t
+    hashOf(const Widget *w)
+    {
+        return reinterpret_cast<uintptr_t>(w); // line 16: finding
+    }
+};

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Per-rule tests for gaze_lint, driven by the fixture trees in
+scripts/lint/fixtures/: every rule has one violating fixture file
+(asserting rule id + exact line), the clean tree must report nothing,
+and the suppression comment grammar (justified allow() on the same
+line, the preceding line, or a comment block; unjustified and typo'd
+allow() are findings) is pinned. Run directly or via CTest
+(gaze_lint_selftest, tier1)."""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import gaze_lint  # noqa: E402
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "fixtures")
+
+
+def lint(tree):
+    findings = gaze_lint.run_lint(os.path.join(FIXTURES, tree), ["src"])
+    return [(f.path, f.line, f.rule) for f in findings]
+
+
+class ViolationFixtures(unittest.TestCase):
+    """One fixture file per rule; ids and lines must match exactly."""
+
+    def setUp(self):
+        self.findings = lint("violations")
+
+    def assert_found(self, path, line, rule):
+        self.assertIn((path, line, rule), self.findings)
+
+    def test_wall_clock(self):
+        self.assert_found("src/harness/uses_clock.cc", 8, "wall-clock")
+        self.assert_found("src/harness/uses_clock.cc", 10, "wall-clock")
+
+    def test_unordered_in_output(self):
+        self.assert_found("src/harness/export.cc", 9,
+                          "unordered-in-output")
+
+    def test_pointer_order(self):
+        self.assert_found("src/sim/pointer_key.hh", 11, "pointer-order")
+        self.assert_found("src/sim/pointer_key.hh", 16, "pointer-order")
+
+    def test_using_namespace_header(self):
+        self.assert_found("src/common/using_ns.hh", 6,
+                          "using-namespace-header")
+
+    def test_pragma_once(self):
+        self.assert_found("src/common/no_pragma.hh", 1, "pragma-once")
+
+    def test_register_anchor_missing(self):
+        self.assert_found("src/prefetchers/orphan.cc", 5,
+                          "register-anchor")
+
+    def test_register_anchor_stale(self):
+        self.assert_found("src/prefetchers/registry.cc", 9,
+                          "register-anchor")
+
+    def test_anchored_scheme_is_clean(self):
+        for path, line, rule in self.findings:
+            if rule == "register-anchor":
+                self.assertNotEqual((path, line),
+                                    ("src/prefetchers/orphan.cc", 6))
+
+    def test_exact_finding_set(self):
+        # No rule may fire anywhere a fixture did not plant it.
+        self.assertEqual(sorted(self.findings), sorted([
+            ("src/harness/uses_clock.cc", 8, "wall-clock"),
+            ("src/harness/uses_clock.cc", 10, "wall-clock"),
+            ("src/harness/export.cc", 9, "unordered-in-output"),
+            ("src/sim/pointer_key.hh", 11, "pointer-order"),
+            ("src/sim/pointer_key.hh", 16, "pointer-order"),
+            ("src/common/using_ns.hh", 6, "using-namespace-header"),
+            ("src/common/no_pragma.hh", 1, "pragma-once"),
+            ("src/prefetchers/orphan.cc", 5, "register-anchor"),
+            ("src/prefetchers/registry.cc", 9, "register-anchor"),
+        ]))
+
+
+class CleanTree(unittest.TestCase):
+    def test_no_findings(self):
+        self.assertEqual(lint("clean"), [])
+
+
+class Suppressions(unittest.TestCase):
+    def test_justified_allows_are_honored(self):
+        findings = lint("suppressed")
+        self.assertNotIn(
+            "src/harness/timed.cc", [path for path, _, _ in findings])
+
+    def test_unjustified_allow_is_a_finding(self):
+        self.assertIn(("src/harness/unjustified.cc", 9, "wall-clock"),
+                      lint("suppressed"))
+
+    def test_unknown_rule_id_is_a_finding(self):
+        findings = lint("suppressed")
+        self.assertIn(("src/harness/unjustified.cc", 10,
+                       "bad-suppression"), findings)
+        # ...and the typo'd allow suppresses nothing.
+        self.assertIn(("src/harness/unjustified.cc", 11, "wall-clock"),
+                      findings)
+
+
+class CliExitCodes(unittest.TestCase):
+    def run_main(self, tree):
+        import contextlib
+        import io
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            rc = gaze_lint.main(
+                ["--root", os.path.join(FIXTURES, tree), "src"])
+        return rc, buf.getvalue()
+
+    def test_clean_exits_zero(self):
+        rc, out = self.run_main("clean")
+        self.assertEqual(rc, 0)
+        self.assertEqual(out, "")
+
+    def test_violations_exit_one_with_file_line_output(self):
+        rc, out = self.run_main("violations")
+        self.assertEqual(rc, 1)
+        self.assertIn(
+            "src/common/using_ns.hh:6: [using-namespace-header]", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

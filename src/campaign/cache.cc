@@ -158,6 +158,9 @@ ResultCache::store(uint64_t hash, const CellRecord &rec) const
     static std::atomic<uint64_t> storeCounter{0};
     std::string final_path = path(hash);
     std::string tmp_path =
+        // gaze-lint: allow(wall-clock): pid only suffixes the temp
+        // file (cross-process uniqueness); renamed away, never part
+        // of published bytes.
         final_path + ".tmp." + std::to_string(getpid()) + "."
         + std::to_string(storeCounter.fetch_add(1));
     {

@@ -14,8 +14,7 @@
  * or a stale-schema file reads as a miss, never as a wrong result.
  */
 
-#ifndef GAZE_CAMPAIGN_CACHE_HH
-#define GAZE_CAMPAIGN_CACHE_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -63,5 +62,3 @@ class ResultCache
 };
 
 } // namespace gaze
-
-#endif // GAZE_CAMPAIGN_CACHE_HH

@@ -1,7 +1,6 @@
 #include "campaign/engine.hh"
 
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <mutex>
 #include <set>
@@ -10,6 +9,7 @@
 #include "common/log.hh"
 #include "driver/thread_pool.hh"
 #include "harness/runner.hh"
+#include "harness/wallclock.hh"
 
 namespace gaze
 {
@@ -38,7 +38,7 @@ runCampaign(const Campaign &campaign, ResultCache &cache,
         GAZE_FATAL("shard index ", opt.shardIndex,
                    " out of range (", opt.shardCount, " shards)");
 
-    auto start = std::chrono::steady_clock::now();
+    WallTimer campaignTimer;
 
     // Deterministic job order — baselines first (they are the jobs
     // every comparison needs), then cells in expansion order, each
@@ -111,7 +111,7 @@ runCampaign(const Campaign &campaign, ResultCache &cache,
         ThreadPool pool(stats.threadsUsed);
         for (const Job *job : toRun) {
             pool.submit([&, job] {
-                auto t0 = std::chrono::steady_clock::now();
+                WallTimer cellTimer;
                 Runner runner(campaign.spec.run);
                 std::vector<WorkloadDef> mix(job->cores,
                                              job->workload);
@@ -120,9 +120,7 @@ runCampaign(const Campaign &campaign, ResultCache &cache,
                 CellRecord rec;
                 rec.key = job->key;
                 rec.summary = summarize(r);
-                rec.seconds = std::chrono::duration<double>(
-                                  std::chrono::steady_clock::now() - t0)
-                                  .count();
+                rec.seconds = cellTimer.seconds();
                 cache.store(job->hash, rec);
                 executed.fetch_add(1, std::memory_order_relaxed);
                 progress(*job, rec.seconds);
@@ -132,9 +130,7 @@ runCampaign(const Campaign &campaign, ResultCache &cache,
     }
     stats.executed = executed.load();
 
-    stats.seconds = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
+    stats.seconds = campaignTimer.seconds();
     return stats;
 }
 

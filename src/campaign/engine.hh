@@ -13,8 +13,7 @@
  * and rerunning the same spec recomputes only what is missing.
  */
 
-#ifndef GAZE_CAMPAIGN_ENGINE_HH
-#define GAZE_CAMPAIGN_ENGINE_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -61,5 +60,3 @@ CampaignRunStats runCampaign(const Campaign &campaign,
                              const CampaignRunOptions &opt);
 
 } // namespace gaze
-
-#endif // GAZE_CAMPAIGN_ENGINE_HH

@@ -12,8 +12,7 @@
  * file, and so the error paths are unit-testable.
  */
 
-#ifndef GAZE_CAMPAIGN_JSON_HH
-#define GAZE_CAMPAIGN_JSON_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -100,5 +99,3 @@ bool parseJson(const std::string &text, JsonValue *out,
 JsonValue parseJsonFile(const std::string &path);
 
 } // namespace gaze
-
-#endif // GAZE_CAMPAIGN_JSON_HH

@@ -12,8 +12,7 @@
  * is appended with per-suite speedup deltas against it.
  */
 
-#ifndef GAZE_CAMPAIGN_REPORT_HH
-#define GAZE_CAMPAIGN_REPORT_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -70,5 +69,3 @@ CampaignCacheStatus campaignStatus(const Campaign &campaign,
                                    const ResultCache &cache);
 
 } // namespace gaze
-
-#endif // GAZE_CAMPAIGN_REPORT_HH

@@ -27,8 +27,7 @@
  *   }
  */
 
-#ifndef GAZE_CAMPAIGN_SPEC_HH
-#define GAZE_CAMPAIGN_SPEC_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -108,5 +107,3 @@ Campaign expandCampaign(const CampaignSpec &spec);
 Campaign loadCampaign(const std::string &path);
 
 } // namespace gaze
-
-#endif // GAZE_CAMPAIGN_SPEC_HH

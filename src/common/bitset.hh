@@ -8,8 +8,7 @@
  * bit i lives in word i/64 at position i%64.
  */
 
-#ifndef GAZE_COMMON_BITSET_HH
-#define GAZE_COMMON_BITSET_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -124,5 +123,3 @@ Bitset operator|(Bitset a, const Bitset &b);
 Bitset operator&(Bitset a, const Bitset &b);
 
 } // namespace gaze
-
-#endif // GAZE_COMMON_BITSET_HH

@@ -5,8 +5,7 @@
  * for suspicious-but-survivable conditions.
  */
 
-#ifndef GAZE_COMMON_LOG_HH
-#define GAZE_COMMON_LOG_HH
+#pragma once
 
 #include <sstream>
 #include <string>
@@ -67,5 +66,3 @@ formatAll(const Args &...args)
             GAZE_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
         } \
     } while (0)
-
-#endif // GAZE_COMMON_LOG_HH

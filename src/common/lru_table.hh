@@ -11,8 +11,7 @@
  * PHM when an entry is replaced).
  */
 
-#ifndef GAZE_COMMON_LRU_TABLE_HH
-#define GAZE_COMMON_LRU_TABLE_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -237,5 +236,3 @@ class LruTable
 };
 
 } // namespace gaze
-
-#endif // GAZE_COMMON_LRU_TABLE_HH

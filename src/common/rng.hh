@@ -6,8 +6,7 @@
  * reproducible.
  */
 
-#ifndef GAZE_COMMON_RNG_HH
-#define GAZE_COMMON_RNG_HH
+#pragma once
 
 #include <cmath>
 #include <cstdint>
@@ -96,5 +95,3 @@ class Rng
 };
 
 } // namespace gaze
-
-#endif // GAZE_COMMON_RNG_HH

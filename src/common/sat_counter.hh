@@ -5,8 +5,7 @@
  * update rules: slow increment, and a decrement that halves large values.
  */
 
-#ifndef GAZE_COMMON_SAT_COUNTER_HH
-#define GAZE_COMMON_SAT_COUNTER_HH
+#pragma once
 
 #include <cstdint>
 
@@ -108,5 +107,3 @@ class DenseCounter
 };
 
 } // namespace gaze
-
-#endif // GAZE_COMMON_SAT_COUNTER_HH

@@ -5,8 +5,7 @@
  * coverage math) lives in src/harness/metrics.
  */
 
-#ifndef GAZE_COMMON_STATS_HH
-#define GAZE_COMMON_STATS_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -37,5 +36,3 @@ class StatSet
 };
 
 } // namespace gaze
-
-#endif // GAZE_COMMON_STATS_HH

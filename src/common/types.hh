@@ -5,8 +5,7 @@
  * otherwise (blockAddr, pageNumber, ...).
  */
 
-#ifndef GAZE_COMMON_TYPES_HH
-#define GAZE_COMMON_TYPES_HH
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -178,5 +177,3 @@ accessTypeName(AccessType t)
 }
 
 } // namespace gaze
-
-#endif // GAZE_COMMON_TYPES_HH

@@ -20,8 +20,7 @@
  * accumulated footprint back to the PHM for learning.
  */
 
-#ifndef GAZE_CORE_GAZE_HH
-#define GAZE_CORE_GAZE_HH
+#pragma once
 
 #include <optional>
 #include <string>
@@ -136,5 +135,3 @@ class GazePrefetcher : public Prefetcher
 };
 
 } // namespace gaze
-
-#endif // GAZE_CORE_GAZE_HH

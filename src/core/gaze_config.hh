@@ -6,8 +6,7 @@
  * noted per field.
  */
 
-#ifndef GAZE_CORE_GAZE_CONFIG_HH
-#define GAZE_CORE_GAZE_CONFIG_HH
+#pragma once
 
 #include <cstdint>
 
@@ -132,5 +131,3 @@ struct GazeConfig
 };
 
 } // namespace gaze
-
-#endif // GAZE_CORE_GAZE_CONFIG_HH

@@ -11,8 +11,7 @@
  * lookup itself, with zero extra metadata (§III-B).
  */
 
-#ifndef GAZE_CORE_PATTERN_HISTORY_HH
-#define GAZE_CORE_PATTERN_HISTORY_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -124,5 +123,3 @@ class StreamingDetector
 };
 
 } // namespace gaze
-
-#endif // GAZE_CORE_PATTERN_HISTORY_HH

@@ -8,8 +8,7 @@
  * argv is fatal here, before a single cycle is simulated.
  */
 
-#ifndef GAZE_DRIVER_CLI_HH
-#define GAZE_DRIVER_CLI_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -134,5 +133,3 @@ uint64_t parseCount(const std::string &flag, const std::string &value,
                     uint64_t max = UINT64_MAX);
 
 } // namespace gaze
-
-#endif // GAZE_DRIVER_CLI_HH

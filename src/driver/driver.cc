@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <mutex>
@@ -12,19 +11,13 @@
 #include "driver/thread_pool.hh"
 #include "prefetchers/registry.hh"
 #include "harness/export.hh"
+#include "harness/wallclock.hh"
 #include "harness/table.hh"
 
 namespace gaze
 {
 namespace
 {
-
-double
-secondsSince(std::chrono::steady_clock::time_point start)
-{
-    auto dt = std::chrono::steady_clock::now() - start;
-    return std::chrono::duration<double>(dt).count();
-}
 
 } // namespace
 
@@ -47,7 +40,7 @@ runMatrix(const MatrixSpec &spec)
     const size_t np = spec.prefetchers.size();
     const size_t jobs = nw + np * nw;
 
-    auto start = std::chrono::steady_clock::now();
+    WallTimer matrixTimer;
 
     std::vector<RunResult> baselines(nw);
     std::vector<RunResult> runs(np * nw);
@@ -76,12 +69,12 @@ runMatrix(const MatrixSpec &spec)
     std::atomic<uint64_t> totalExecuted{0}, totalSkipped{0};
     auto runCell = [&](const WorkloadDef &w, const PfSpec &pf,
                        RunResult *out, double *secs) {
-        auto t0 = std::chrono::steady_clock::now();
+        WallTimer cellTimer;
         Runner runner(spec.run, sharedBaselines);
         std::vector<WorkloadDef> mix(spec.cores, w);
         *out = pf.isNone() ? runner.baselineMix(mix)
                            : runner.runMix(mix, pf);
-        double dt = secondsSince(t0);
+        double dt = cellTimer.seconds();
         if (secs)
             *secs = dt;
         totalInstr.fetch_add(out->instructionsRetired,
@@ -176,7 +169,7 @@ runMatrix(const MatrixSpec &spec)
     result.totalEvents = totalEvents.load();
     result.totalCyclesExecuted = totalExecuted.load();
     result.totalCyclesSkipped = totalSkipped.load();
-    result.seconds = secondsSince(start);
+    result.seconds = matrixTimer.seconds();
     return result;
 }
 

@@ -10,8 +10,7 @@
  * in-process; main.cc only parses flags.
  */
 
-#ifndef GAZE_DRIVER_DRIVER_HH
-#define GAZE_DRIVER_DRIVER_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -135,5 +134,3 @@ std::string matrixToTable(const MatrixResult &result);
 std::string matrixEngineTable(const MatrixResult &result);
 
 } // namespace gaze
-
-#endif // GAZE_DRIVER_DRIVER_HH

@@ -11,8 +11,7 @@
  * the run). Destruction drains queued jobs before joining.
  */
 
-#ifndef GAZE_DRIVER_THREAD_POOL_HH
-#define GAZE_DRIVER_THREAD_POOL_HH
+#pragma once
 
 #include <condition_variable>
 #include <cstdint>
@@ -148,5 +147,3 @@ class ThreadPool
 };
 
 } // namespace gaze
-
-#endif // GAZE_DRIVER_THREAD_POOL_HH

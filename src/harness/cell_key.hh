@@ -15,8 +15,7 @@
  * of serving stale results.
  */
 
-#ifndef GAZE_HARNESS_CELL_KEY_HH
-#define GAZE_HARNESS_CELL_KEY_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -58,5 +57,3 @@ uint64_t cellHash(const std::string &canonical_text);
 std::string cellHashHex(uint64_t hash);
 
 } // namespace gaze
-
-#endif // GAZE_HARNESS_CELL_KEY_HH

@@ -8,8 +8,7 @@
  * documents through JsonWriter/JsonExport.
  */
 
-#ifndef GAZE_HARNESS_EXPORT_HH
-#define GAZE_HARNESS_EXPORT_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -139,5 +138,3 @@ class JsonExport
 };
 
 } // namespace gaze
-
-#endif // GAZE_HARNESS_EXPORT_HH

@@ -13,8 +13,7 @@
  *    useful prefetches (late ones included).
  */
 
-#ifndef GAZE_HARNESS_METRICS_HH
-#define GAZE_HARNESS_METRICS_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -118,5 +117,3 @@ PrefetchMetrics computeMetrics(const RunResult &base,
 double geomean(const std::vector<double> &values);
 
 } // namespace gaze
-
-#endif // GAZE_HARNESS_METRICS_HH

@@ -1,6 +1,6 @@
 #include "harness/runner.hh"
 
-#include <chrono>
+#include "harness/wallclock.hh"
 
 #include "common/log.hh"
 #include "harness/cell_key.hh"
@@ -106,14 +106,12 @@ Runner::execute(const std::vector<WorkloadDef> &mix, const PfSpec &pf)
         sys.setL2Prefetcher(c, makePrefetcher(pf.l2));
     }
 
-    auto t0 = std::chrono::steady_clock::now();
+    WallTimer timer;
     sys.run(cfg.effectiveWarmup());
     sys.resetStats();
     auto cores = sys.simulate(cfg.effectiveSim());
     RunResult result = collectResult(sys, std::move(cores));
-    result.wallSeconds = std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - t0)
-                             .count();
+    result.wallSeconds = timer.seconds();
     return result;
 }
 

@@ -6,8 +6,7 @@
  * Every bench binary drives simulations exclusively through this.
  */
 
-#ifndef GAZE_HARNESS_RUNNER_HH
-#define GAZE_HARNESS_RUNNER_HH
+#pragma once
 
 #include <functional>
 #include <future>
@@ -150,5 +149,3 @@ SuiteSummary evaluateSuite(Runner &runner,
                            const PfSpec &pf);
 
 } // namespace gaze
-
-#endif // GAZE_HARNESS_RUNNER_HH

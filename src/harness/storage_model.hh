@@ -6,8 +6,7 @@
  * carry the paper's published byte figures for comparison.
  */
 
-#ifndef GAZE_HARNESS_STORAGE_MODEL_HH
-#define GAZE_HARNESS_STORAGE_MODEL_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -43,5 +42,3 @@ struct SchemeStorage
 std::vector<SchemeStorage> evaluatedSchemeStorage();
 
 } // namespace gaze
-
-#endif // GAZE_HARNESS_STORAGE_MODEL_HH

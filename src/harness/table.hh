@@ -4,8 +4,7 @@
  * paper's figures/tables as aligned rows.
  */
 
-#ifndef GAZE_HARNESS_TABLE_HH
-#define GAZE_HARNESS_TABLE_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -35,5 +34,3 @@ class TextTable
 };
 
 } // namespace gaze
-
-#endif // GAZE_HARNESS_TABLE_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The one sanctioned reader of the host clock. Simulated time is
+ * always derived from instruction/cycle counts; host wall-clock time
+ * is *only* legitimate as informational throughput reporting (cell
+ * seconds, Minstr/s), and every such reading must flow through this
+ * shim so published metrics can never silently depend on the host.
+ *
+ * gaze_lint's `wall-clock` rule fails any other file in src/ that
+ * calls rand(), time(), steady_clock::now() (or any sibling clock),
+ * or std::random_device directly; this header is the rule's whitelist.
+ */
+
+#pragma once
+
+#include <chrono>
+
+namespace gaze
+{
+
+/** Opaque monotonic timestamp; only useful for differences. */
+using WallTime = std::chrono::steady_clock::time_point;
+
+/** Read the host monotonic clock (the whitelisted call site). */
+inline WallTime
+wallNow()
+{
+    return std::chrono::steady_clock::now();
+}
+
+/** Seconds elapsed since @p start, as a double. */
+inline double
+wallSecondsSince(WallTime start)
+{
+    return std::chrono::duration<double>(wallNow() - start).count();
+}
+
+/** Starts timing at construction; seconds() reads the elapsed time. */
+class WallTimer
+{
+  public:
+    WallTimer() : start(wallNow()) {}
+
+    double seconds() const { return wallSecondsSince(start); }
+
+  private:
+    WallTime start;
+};
+
+} // namespace gaze

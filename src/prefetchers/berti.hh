@@ -20,8 +20,7 @@
  * paper's §IV-B3 comparative study attributes its losses to.
  */
 
-#ifndef GAZE_PREFETCHERS_BERTI_HH
-#define GAZE_PREFETCHERS_BERTI_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -123,5 +122,3 @@ class BertiPrefetcher : public Prefetcher
 };
 
 } // namespace gaze
-
-#endif // GAZE_PREFETCHERS_BERTI_HH

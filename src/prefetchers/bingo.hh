@@ -9,8 +9,7 @@
  * coverage).
  */
 
-#ifndef GAZE_PREFETCHERS_BINGO_HH
-#define GAZE_PREFETCHERS_BINGO_HH
+#pragma once
 
 #include "prefetchers/spatial_base.hh"
 
@@ -69,5 +68,3 @@ class BingoPrefetcher : public SpatialPatternPrefetcher
 };
 
 } // namespace gaze
-
-#endif // GAZE_PREFETCHERS_BINGO_HH

@@ -13,8 +13,7 @@
  * blocks every generation touched).
  */
 
-#ifndef GAZE_PREFETCHERS_DSPATCH_HH
-#define GAZE_PREFETCHERS_DSPATCH_HH
+#pragma once
 
 #include "prefetchers/spatial_base.hh"
 
@@ -74,5 +73,3 @@ class DspatchPrefetcher : public SpatialPatternPrefetcher
 };
 
 } // namespace gaze
-
-#endif // GAZE_PREFETCHERS_DSPATCH_HH

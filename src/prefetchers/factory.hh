@@ -20,8 +20,7 @@
  * name — and cache as — the same experiment.
  */
 
-#ifndef GAZE_PREFETCHERS_FACTORY_HH
-#define GAZE_PREFETCHERS_FACTORY_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -47,5 +46,3 @@ std::unique_ptr<Prefetcher> makePrefetcher(const std::string &spec);
 std::vector<std::string> knownPrefetcherSpecs();
 
 } // namespace gaze
-
-#endif // GAZE_PREFETCHERS_FACTORY_HH

@@ -7,8 +7,7 @@
  * confirmations the next blocks along the stride are prefetched.
  */
 
-#ifndef GAZE_PREFETCHERS_IP_STRIDE_HH
-#define GAZE_PREFETCHERS_IP_STRIDE_HH
+#pragma once
 
 #include "common/lru_table.hh"
 #include "common/sat_counter.hh"
@@ -57,5 +56,3 @@ class IpStridePrefetcher : public Prefetcher
 };
 
 } // namespace gaze
-
-#endif // GAZE_PREFETCHERS_IP_STRIDE_HH

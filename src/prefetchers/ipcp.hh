@@ -16,8 +16,7 @@
  * 128-entry CSPT, 8-entry RST, 32-entry RR).
  */
 
-#ifndef GAZE_PREFETCHERS_IPCP_HH
-#define GAZE_PREFETCHERS_IPCP_HH
+#pragma once
 
 #include <vector>
 
@@ -100,5 +99,3 @@ class IpcpPrefetcher : public Prefetcher
 };
 
 } // namespace gaze
-
-#endif // GAZE_PREFETCHERS_IPCP_HH

@@ -13,8 +13,7 @@
  * summed with the offset vote before thresholding.
  */
 
-#ifndef GAZE_PREFETCHERS_PMP_HH
-#define GAZE_PREFETCHERS_PMP_HH
+#pragma once
 
 #include <vector>
 
@@ -70,5 +69,3 @@ class PmpPrefetcher : public SpatialPatternPrefetcher
 };
 
 } // namespace gaze
-
-#endif // GAZE_PREFETCHERS_PMP_HH

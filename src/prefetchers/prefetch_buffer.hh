@@ -12,8 +12,7 @@
  * pending pattern before it is issued.
  */
 
-#ifndef GAZE_PREFETCHERS_PREFETCH_BUFFER_HH
-#define GAZE_PREFETCHERS_PREFETCH_BUFFER_HH
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -161,5 +160,3 @@ class PrefetchBuffer
 };
 
 } // namespace gaze
-
-#endif // GAZE_PREFETCHERS_PREFETCH_BUFFER_HH

@@ -30,8 +30,7 @@
  * spellings.
  */
 
-#ifndef GAZE_PREFETCHERS_REGISTRY_HH
-#define GAZE_PREFETCHERS_REGISTRY_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -270,5 +269,3 @@ std::string renderPrefetcherList(bool json);
     ::gaze::PrefetcherRegistrar gazePrefetcherRegistrar_##ident( \
         &gazePrefetcherDescriptor_##ident); \
     static ::gaze::PrefetcherDescriptor gazePrefetcherDescriptor_##ident()
-
-#endif // GAZE_PREFETCHERS_REGISTRY_HH

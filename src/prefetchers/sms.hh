@@ -10,8 +10,7 @@
  * 256 for PC, 16k for the PC+Address class).
  */
 
-#ifndef GAZE_PREFETCHERS_SMS_HH
-#define GAZE_PREFETCHERS_SMS_HH
+#pragma once
 
 #include "prefetchers/spatial_base.hh"
 
@@ -63,5 +62,3 @@ class SmsPrefetcher : public SpatialPatternPrefetcher
 };
 
 } // namespace gaze
-
-#endif // GAZE_PREFETCHERS_SMS_HH

@@ -12,8 +12,7 @@
  * waits for the second access and keys on footprint-internal order.
  */
 
-#ifndef GAZE_PREFETCHERS_SPATIAL_BASE_HH
-#define GAZE_PREFETCHERS_SPATIAL_BASE_HH
+#pragma once
 
 #include <cstdint>
 
@@ -113,5 +112,3 @@ class SpatialPatternPrefetcher : public Prefetcher
 };
 
 } // namespace gaze
-
-#endif // GAZE_PREFETCHERS_SPATIAL_BASE_HH

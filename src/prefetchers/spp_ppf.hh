@@ -16,8 +16,7 @@
  * set is reduced relative to the 39.3KB original (see DESIGN.md).
  */
 
-#ifndef GAZE_PREFETCHERS_SPP_PPF_HH
-#define GAZE_PREFETCHERS_SPP_PPF_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -124,5 +123,3 @@ class SppPpfPrefetcher : public Prefetcher
 };
 
 } // namespace gaze
-
-#endif // GAZE_PREFETCHERS_SPP_PPF_HH

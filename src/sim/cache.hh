@@ -12,8 +12,7 @@
  * level >= fillLevel.
  */
 
-#ifndef GAZE_SIM_CACHE_HH
-#define GAZE_SIM_CACHE_HH
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -301,5 +300,3 @@ class Cache : public MemoryDevice, public FillReceiver
 };
 
 } // namespace gaze
-
-#endif // GAZE_SIM_CACHE_HH

@@ -8,8 +8,7 @@
  * needs from the core (Table II: 4-wide, 352-entry ROB, 128/72 LQ/SQ).
  */
 
-#ifndef GAZE_SIM_CORE_HH
-#define GAZE_SIM_CORE_HH
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -159,5 +158,3 @@ class Core : public FillReceiver
 };
 
 } // namespace gaze
-
-#endif // GAZE_SIM_CORE_HH

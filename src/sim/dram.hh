@@ -10,8 +10,7 @@
  * rank, 2KB row buffer per bank.
  */
 
-#ifndef GAZE_SIM_DRAM_HH
-#define GAZE_SIM_DRAM_HH
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -231,5 +230,3 @@ class Dram : public MemoryDevice
 };
 
 } // namespace gaze
-
-#endif // GAZE_SIM_DRAM_HH

@@ -17,8 +17,7 @@
  * are therefore metrics-bit-identical; test_engine asserts it.
  */
 
-#ifndef GAZE_SIM_EVENT_HH
-#define GAZE_SIM_EVENT_HH
+#pragma once
 
 #include <cstdint>
 #include <queue>
@@ -283,5 +282,3 @@ class TickEvent : public Event
 };
 
 } // namespace gaze
-
-#endif // GAZE_SIM_EVENT_HH

@@ -6,8 +6,7 @@
  * issue prefetches through the attached cache.
  */
 
-#ifndef GAZE_SIM_PREFETCHER_HH
-#define GAZE_SIM_PREFETCHER_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -147,5 +146,3 @@ class Prefetcher
 };
 
 } // namespace gaze
-
-#endif // GAZE_SIM_PREFETCHER_HH

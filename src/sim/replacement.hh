@@ -5,8 +5,7 @@
  * exercise the policy interface.
  */
 
-#ifndef GAZE_SIM_REPLACEMENT_HH
-#define GAZE_SIM_REPLACEMENT_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -114,5 +113,3 @@ bool isKnownReplacementPolicy(const std::string &name);
 std::string knownReplacementPolicyList();
 
 } // namespace gaze
-
-#endif // GAZE_SIM_REPLACEMENT_HH

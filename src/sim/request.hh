@@ -9,8 +9,7 @@
  * and physical-side structures can both observe it.
  */
 
-#ifndef GAZE_SIM_REQUEST_HH
-#define GAZE_SIM_REQUEST_HH
+#pragma once
 
 #include <cstdint>
 
@@ -106,5 +105,3 @@ class MemoryDevice
 };
 
 } // namespace gaze
-
-#endif // GAZE_SIM_REQUEST_HH

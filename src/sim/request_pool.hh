@@ -12,8 +12,7 @@
  * --sanitize gate runs the same check under ASan).
  */
 
-#ifndef GAZE_SIM_REQUEST_POOL_HH
-#define GAZE_SIM_REQUEST_POOL_HH
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -104,5 +103,3 @@ class RequestPool
 };
 
 } // namespace gaze
-
-#endif // GAZE_SIM_REQUEST_POOL_HH

@@ -6,8 +6,7 @@
  * multi-level configurations).
  */
 
-#ifndef GAZE_SIM_SYSTEM_HH
-#define GAZE_SIM_SYSTEM_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -215,5 +214,3 @@ class System
 };
 
 } // namespace gaze
-
-#endif // GAZE_SIM_SYSTEM_HH

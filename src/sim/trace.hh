@@ -13,8 +13,7 @@
  * bit-identical to the generator run it was recorded from.
  */
 
-#ifndef GAZE_SIM_TRACE_HH
-#define GAZE_SIM_TRACE_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -102,5 +101,3 @@ class VectorTrace : public TraceSource
 };
 
 } // namespace gaze
-
-#endif // GAZE_SIM_TRACE_HH

@@ -8,8 +8,7 @@
  *  - virtual-address prefetchers (vBerti, vGaze) legitimately can.
  */
 
-#ifndef GAZE_SIM_VMEM_HH
-#define GAZE_SIM_VMEM_HH
+#pragma once
 
 #include <cstdint>
 
@@ -39,5 +38,3 @@ class VirtualMemory
 };
 
 } // namespace gaze
-
-#endif // GAZE_SIM_VMEM_HH

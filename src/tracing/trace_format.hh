@@ -33,8 +33,7 @@
  * shared between them (and unit-tested directly).
  */
 
-#ifndef GAZE_TRACING_TRACE_FORMAT_HH
-#define GAZE_TRACING_TRACE_FORMAT_HH
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -137,5 +136,3 @@ class Fnv1a
 };
 
 } // namespace gaze
-
-#endif // GAZE_TRACING_TRACE_FORMAT_HH

@@ -13,8 +13,7 @@
  * file as a fatal configuration error.
  */
 
-#ifndef GAZE_TRACING_TRACE_IO_HH
-#define GAZE_TRACING_TRACE_IO_HH
+#pragma once
 
 #include <cstdint>
 #include <fstream>
@@ -167,5 +166,3 @@ class FileTrace : public TraceSource
 std::string traceFileName(const std::string &workload);
 
 } // namespace gaze
-
-#endif // GAZE_TRACING_TRACE_IO_HH

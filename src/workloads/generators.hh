@@ -23,8 +23,7 @@
  * All generators are deterministic in their seed.
  */
 
-#ifndef GAZE_WORKLOADS_GENERATORS_HH
-#define GAZE_WORKLOADS_GENERATORS_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -255,5 +254,3 @@ struct StreamHazardParams
 VectorTrace genStreamHazard(const StreamHazardParams &p);
 
 } // namespace gaze
-
-#endif // GAZE_WORKLOADS_GENERATORS_HH

@@ -17,8 +17,7 @@
  * `compute` phase (interleaved streaming + irregular).
  */
 
-#ifndef GAZE_WORKLOADS_GRAPH_HH
-#define GAZE_WORKLOADS_GRAPH_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -64,5 +63,3 @@ VectorTrace genBfs(const GraphTraceParams &p, bool init_phase);
 VectorTrace genTriangle(const GraphTraceParams &p);
 
 } // namespace gaze
-
-#endif // GAZE_WORKLOADS_GRAPH_HH

@@ -9,8 +9,7 @@
  * benches can be scaled up or down without recompiling.
  */
 
-#ifndef GAZE_WORKLOADS_SUITES_HH
-#define GAZE_WORKLOADS_SUITES_HH
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -89,5 +88,3 @@ std::string workloadIdentity(const WorkloadDef &w);
 const std::vector<std::string> &mainSuites();
 
 } // namespace gaze
-
-#endif // GAZE_WORKLOADS_SUITES_HH

@@ -48,7 +48,7 @@ class CacheTest : public ::testing::Test
     }
 
     Request
-    demand(Addr a, FillReceiver *rx, uint64_t token = 0,
+    demand(Addr a, FillReceiver *recv, uint64_t token = 0,
            AccessType t = AccessType::Load)
     {
         Request r;
@@ -57,7 +57,7 @@ class CacheTest : public ::testing::Test
         r.pc = 0x400000;
         r.type = t;
         r.fillLevel = levelL1;
-        r.requester = rx;
+        r.requester = recv;
         r.token = token;
         r.issueCycle = clock;
         return r;

@@ -5,8 +5,7 @@
  * completions, and an issue-capturing prefetcher wrapper.
  */
 
-#ifndef GAZE_TESTS_TEST_UTIL_HH
-#define GAZE_TESTS_TEST_UTIL_HH
+#pragma once
 
 #include <queue>
 #include <vector>
@@ -24,8 +23,8 @@ namespace gaze::test
 class FakeMemory : public MemoryDevice, public FillReceiver
 {
   public:
-    explicit FakeMemory(const Cycle *clock, Cycle latency = 100)
-        : clock(clock), latency(latency)
+    explicit FakeMemory(const Cycle *clock_, Cycle latency_ = 100)
+        : clock(clock_), latency(latency_)
     {
     }
 
@@ -147,5 +146,3 @@ drain(Pf &pf, int n = 200)
 }
 
 } // namespace gaze::test
-
-#endif // GAZE_TESTS_TEST_UTIL_HH
