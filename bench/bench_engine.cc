@@ -1,19 +1,33 @@
 /**
  * @file
- * bench_engine — simulator-throughput benchmark for the event-driven
- * engine. Runs representative cells under both engines (the polled
- * reference loop and the timing-wheel event engine), verifies their
- * metrics are bit-identical, and reports wall-clock speedup, Minstr/s
- * and the skipped-cycle fraction per cell, writing everything to
- * BENCH_engine.json so the perf trajectory is recorded over time.
+ * bench_engine — simulator-throughput benchmark for the simulation
+ * engines. Runs representative cells under the polled reference loop,
+ * the timing-wheel event engine and the adaptive auto engine, verifies
+ * their metrics are bit-identical, and reports wall-clock speedup,
+ * Minstr/s and the skipped-cycle fraction per cell. A 4-core mix
+ * section additionally times the threaded engine (--sim-threads=4)
+ * against the same mix single-threaded. Everything lands in
+ * BENCH_engine.json — per-cell rows plus geomean/min aggregate rows
+ * per engine column and the host CPU count, so the perf trajectory
+ * (and the host it was measured on) is recorded over time.
  *
  * The headline case is the low-MLP pointer chase (canneal): one
  * dependent load in flight at a time leaves almost every cycle idle,
- * which the event engine skips in O(1).
+ * which the event engine skips in O(1). The dense stream (leslie3d)
+ * is the honest lower bound — little to skip — and where the auto
+ * engine must flip to polled dispatch to stay >= 1.0x.
+ *
+ * Timing is best-of-3 per (cell, engine): metrics are identical across
+ * repeats by construction (asserted elsewhere), so the fastest wall
+ * time is the least noisy estimate — the dense cells finish in tens
+ * of milliseconds, where single-run scheduler noise dwarfs the
+ * engine-overhead differences being measured.
  *
  *   bench_engine            full comparison (honors GAZE_SIM_SCALE)
- *   bench_engine --quick    one short event-engine cell; asserts
- *                           Minstr/s > 0 (the check.sh smoke)
+ *   bench_engine --quick    short cells; asserts throughput > 0 AND
+ *                           cross-engine metric identity, dying
+ *                           loudly on any mismatch (the check.sh /
+ *                           CTest smoke)
  */
 
 #include <chrono>
@@ -21,6 +35,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hh"
@@ -35,50 +50,122 @@ namespace
 
 using namespace gaze;
 
-struct CellReport
+/** One engine's timed view of a cell. */
+struct EngineRun
 {
-    std::string workload;
-    std::string prefetcher;
-    RunResult event;
-    RunResult polled;
-
-    double
-    wallSpeedup() const
-    {
-        return event.wallSeconds > 0.0
-                   ? polled.wallSeconds / event.wallSeconds
-                   : 0.0;
-    }
+    RunResult result;
+    double bestSeconds = 0.0;
 };
 
 RunConfig
-configFor(EngineKind engine)
+configFor(EngineKind engine, uint32_t simThreads = 1)
 {
     RunConfig cfg;
     cfg.system.engine = engine;
+    cfg.system.simThreads = simThreads;
     return cfg; // phase lengths come from GAZE_SIM_SCALE
 }
 
-/** Fatal unless the two runs produced identical metrics. */
-void
-checkIdentical(const CellReport &r)
+/**
+ * Run @p mix under @p cfg @p repeats times; keep the first run's
+ * metrics (repeats are bit-identical) and the fastest wall time.
+ */
+EngineRun
+timedRun(const RunConfig &cfg, const std::vector<WorkloadDef> &mix,
+         const PfSpec &pf, int repeats = 3)
 {
-    RunSummary e = summarize(r.event);
-    RunSummary p = summarize(r.polled);
-    GAZE_ASSERT(e.ipc == p.ipc && e.pfIssued == p.pfIssued
-                    && e.pfFilled == p.pfFilled
-                    && e.pfUseful == p.pfUseful
-                    && e.pfLate == p.pfLate
-                    && e.llcDemandMiss == p.llcDemandMiss,
-                "engine mismatch on ", r.workload, " x ",
-                r.prefetcher,
-                " — event and polled metrics must be bit-identical");
+    EngineRun er;
+    for (int i = 0; i < repeats; ++i) {
+        Runner runner(cfg);
+        RunResult r = runner.runMix(mix, pf);
+        if (i == 0 || r.wallSeconds < er.bestSeconds)
+            er.bestSeconds = r.wallSeconds;
+        if (i == 0)
+            er.result = std::move(r);
+    }
+    return er;
+}
+
+/**
+ * Die unless @p got reproduced @p ref bit for bit on everything the
+ * paper metrics consume: the summary slice, per-core retirement and
+ * the total cycle count. Engine-speed counters (events dispatched,
+ * cycles skipped) legitimately differ between engines and are
+ * excluded — that is the differential-test contract
+ * (tests/test_engine_diff.cc) applied at bench time.
+ */
+void
+checkIdentical(const RunResult &ref, const RunResult &got,
+               const std::string &cell, const char *engineLabel)
+{
+    RunSummary a = summarize(ref);
+    RunSummary b = summarize(got);
+    bool same = a.ipc == b.ipc && a.pfIssued == b.pfIssued
+                && a.pfFilled == b.pfFilled
+                && a.pfUseful == b.pfUseful && a.pfLate == b.pfLate
+                && a.llcDemandMiss == b.llcDemandMiss
+                && ref.engine.cyclesTotal == got.engine.cyclesTotal
+                && ref.cores.size() == got.cores.size();
+    if (same) {
+        for (size_t c = 0; c < ref.cores.size(); ++c)
+            same = same
+                   && ref.cores[c].instructions
+                          == got.cores[c].instructions
+                   && ref.cores[c].cycles == got.cores[c].cycles;
+    }
+    if (!same)
+        GAZE_FATAL("engine mismatch on ", cell, ": ", engineLabel,
+                   " metrics differ from the polled/reference run — "
+                   "engines must be bit-identical");
+}
+
+void
+printAggregate(const char *label, const std::vector<double> &speedups)
+{
+    double lo = speedups.empty() ? 0.0 : speedups[0];
+    for (double s : speedups)
+        lo = std::min(lo, s);
+    std::printf("%-18s | geomean %.2fx | min %.2fx\n", label,
+                geomean(speedups), lo);
+}
+
+void
+jsonAggregate(JsonWriter &j, const char *key,
+              const std::vector<double> &speedups)
+{
+    double lo = speedups.empty() ? 0.0 : speedups[0];
+    for (double s : speedups)
+        lo = std::min(lo, s);
+    j.key(key).beginObject();
+    j.field("geomean_wall_speedup", geomean(speedups));
+    j.field("min_wall_speedup", lo);
+    j.endObject();
+}
+
+void
+jsonEngineBlock(JsonWriter &j, const char *key, const EngineRun &er)
+{
+    const RunResult &r = er.result;
+    j.key(key).beginObject();
+    j.field("seconds", er.bestSeconds);
+    j.field("minstr_per_sec",
+            er.bestSeconds > 0.0
+                ? double(r.instructionsRetired) / er.bestSeconds / 1e6
+                : 0.0);
+    j.field("cycles_total", r.engine.cyclesTotal);
+    j.field("cycles_executed", r.engine.cyclesExecuted);
+    j.field("cycles_skipped", r.engine.cyclesSkipped);
+    j.field("events_dispatched", r.engine.eventsDispatched);
+    j.field("engine_flips", r.engine.engineFlips);
+    j.field("polled_cycles", r.engine.polledCycles);
+    j.field("skip_fraction", r.engine.skipFraction());
+    j.endObject();
 }
 
 int
 quickSmoke()
 {
-    // One short cell, event engine: the check.sh / CTest smoke.
+    // One short cell, event engine: throughput and idle-skip sanity.
     Runner runner(configFor(EngineKind::Event));
     RunResult r = runner.run(findWorkload("canneal"), PfSpec{});
     double minstr = r.minstrPerSec();
@@ -91,6 +178,34 @@ quickSmoke()
     GAZE_ASSERT(minstr > 0.0, "throughput must be positive");
     GAZE_ASSERT(r.engine.cyclesSkipped > 0,
                 "a pointer chase must skip idle cycles");
+
+    // Cross-engine identity gate: every engine variant must reproduce
+    // the polled reference bit for bit, and checkIdentical dies with
+    // GAZE_FATAL if it ever does not. Single-core canneal x gaze
+    // covers polled/event/auto; a 2-core mix covers the threaded
+    // fork/join path against its single-threaded twin.
+    PfSpec gazePf;
+    gazePf.l1 = "gaze";
+    std::vector<WorkloadDef> one = {findWorkload("canneal")};
+    RunResult polled = Runner(configFor(EngineKind::Polled))
+                           .runMix(one, gazePf);
+    checkIdentical(polled,
+                   Runner(configFor(EngineKind::Event))
+                       .runMix(one, gazePf),
+                   "canneal x gaze", "event");
+    checkIdentical(polled,
+                   Runner(configFor(EngineKind::Auto))
+                       .runMix(one, gazePf),
+                   "canneal x gaze", "auto");
+    std::vector<WorkloadDef> two = {findWorkload("canneal"),
+                                    findWorkload("mcf")};
+    checkIdentical(Runner(configFor(EngineKind::Event, 1))
+                       .runMix(two, gazePf),
+                   Runner(configFor(EngineKind::Event, 2))
+                       .runMix(two, gazePf),
+                   "canneal+mcf x gaze", "threaded(2)");
+    std::printf("bench_engine quick: metrics identical across "
+                "polled/event/auto and --sim-threads=2\n");
     return 0;
 }
 
@@ -113,50 +228,105 @@ main(int argc, char **argv)
         return quickSmoke();
 
     bench::banner("bench_engine",
-                  "event-driven vs polled engine throughput");
+                  "polled vs event vs auto vs threaded engine "
+                  "throughput");
+
+    unsigned hostCpus = std::thread::hardware_concurrency();
+    std::printf("host CPUs: %u (threaded wall-clock numbers need at "
+                "least as many cores as --sim-threads)\n\n",
+                hostCpus);
 
     // Low-MLP pointer chases (big idle-skip win), a dense stream
-    // (little to skip: the honest lower bound), and a mixed graph
-    // workload, with and without a prefetcher.
+    // (little to skip: the honest lower bound and the auto engine's
+    // reason to exist), and a mixed graph workload, with and without
+    // a prefetcher.
     const std::vector<std::string> workloads = {"canneal", "mcf",
                                                 "leslie3d", "BFS-17"};
     const std::vector<std::string> prefetchers = {"none", "gaze"};
 
-    Runner eventRunner(configFor(EngineKind::Event));
-    Runner polledRunner(configFor(EngineKind::Polled));
-
-    std::vector<CellReport> cells;
+    struct SingleCell
+    {
+        std::string workload;
+        std::string prefetcher;
+        EngineRun polled, event, autorun;
+    };
+    std::vector<SingleCell> cells;
+    std::vector<double> eventSpeedups, autoSpeedups;
     for (const auto &wname : workloads) {
-        WorkloadDef w = findWorkload(wname);
+        std::vector<WorkloadDef> mix = {findWorkload(wname)};
         for (const auto &pname : prefetchers) {
             PfSpec pf;
             if (pname != "none")
                 pf.l1 = pname;
-            CellReport r;
-            r.workload = wname;
-            r.prefetcher = pname;
-            r.polled = polledRunner.run(w, pf);
-            r.event = eventRunner.run(w, pf);
-            checkIdentical(r);
-            cells.push_back(std::move(r));
+            SingleCell c;
+            c.workload = wname;
+            c.prefetcher = pname;
+            c.polled = timedRun(configFor(EngineKind::Polled), mix, pf);
+            c.event = timedRun(configFor(EngineKind::Event), mix, pf);
+            c.autorun = timedRun(configFor(EngineKind::Auto), mix, pf);
+            std::string cell = wname + " x " + pname;
+            checkIdentical(c.polled.result, c.event.result, cell,
+                           "event");
+            checkIdentical(c.polled.result, c.autorun.result, cell,
+                           "auto");
+            double se = c.polled.bestSeconds / c.event.bestSeconds;
+            double sa = c.polled.bestSeconds / c.autorun.bestSeconds;
+            eventSpeedups.push_back(se);
+            autoSpeedups.push_back(sa);
             std::printf(
-                "%-10s x %-6s | polled %6.2f Minstr/s | event "
-                "%6.2f Minstr/s | %4.1f%% skipped | speedup %.2fx\n",
-                wname.c_str(), pname.c_str(),
-                cells.back().polled.minstrPerSec(),
-                cells.back().event.minstrPerSec(),
-                100.0 * cells.back().event.engine.skipFraction(),
-                cells.back().wallSpeedup());
+                "%-10s x %-6s | polled %6.3fs | event %6.3fs "
+                "(%4.2fx) | auto %6.3fs (%4.2fx, %llu flips) | "
+                "%4.1f%% skipped\n",
+                wname.c_str(), pname.c_str(), c.polled.bestSeconds,
+                c.event.bestSeconds, se, c.autorun.bestSeconds, sa,
+                static_cast<unsigned long long>(
+                    c.autorun.result.engine.engineFlips),
+                100.0 * c.event.result.engine.skipFraction());
+            cells.push_back(std::move(c));
         }
     }
 
-    std::vector<double> speedups;
-    for (const auto &c : cells)
-        speedups.push_back(c.wallSpeedup());
-    double gmean = geomean(speedups);
-    std::printf("\ngeomean wall-clock speedup (event over polled): "
-                "%.2fx — metrics bit-identical on every cell\n",
-                gmean);
+    // 4-core mixes: the threaded engine (--sim-threads=4) against the
+    // same mix on one thread. Cores interact only through the shared
+    // LLC/DRAM; identity is asserted, not assumed.
+    const uint32_t kMixThreads = 4;
+    std::vector<WorkloadDef> mix4 = {
+        findWorkload("canneal"), findWorkload("mcf"),
+        findWorkload("canneal"), findWorkload("mcf")};
+    struct MixCell
+    {
+        std::string prefetcher;
+        EngineRun one, threaded;
+    };
+    std::vector<MixCell> mixCells;
+    std::vector<double> threadedSpeedups;
+    std::printf("\n4-core mix canneal+mcf+canneal+mcf, event engine:\n");
+    for (const auto &pname : prefetchers) {
+        PfSpec pf;
+        if (pname != "none")
+            pf.l1 = pname;
+        MixCell m;
+        m.prefetcher = pname;
+        m.one = timedRun(configFor(EngineKind::Event, 1), mix4, pf);
+        m.threaded =
+            timedRun(configFor(EngineKind::Event, kMixThreads), mix4,
+                     pf);
+        checkIdentical(m.one.result, m.threaded.result,
+                       "mix4 x " + pname, "threaded(4)");
+        double st = m.one.bestSeconds / m.threaded.bestSeconds;
+        threadedSpeedups.push_back(st);
+        std::printf("  mix4 x %-6s | 1 thread %6.3fs | 4 threads "
+                    "%6.3fs | speedup %.2fx\n",
+                    pname.c_str(), m.one.bestSeconds,
+                    m.threaded.bestSeconds, st);
+        mixCells.push_back(std::move(m));
+    }
+
+    std::printf("\nwall-clock speedups (metrics bit-identical on "
+                "every cell):\n");
+    printAggregate("event vs polled", eventSpeedups);
+    printAggregate("auto vs polled", autoSpeedups);
+    printAggregate("4 threads vs 1", threadedSpeedups);
 
     JsonWriter j;
     j.beginObject();
@@ -164,32 +334,44 @@ main(int argc, char **argv)
     j.field("scale", simScale());
     j.field("warmup_instructions", RunConfig{}.effectiveWarmup());
     j.field("sim_instructions", RunConfig{}.effectiveSim());
+    j.field("host_cpus", uint64_t(hostCpus));
     j.key("cells").beginArray();
     for (const auto &c : cells) {
         j.beginObject();
         j.field("workload", c.workload);
         j.field("prefetcher", c.prefetcher);
-        j.key("polled").beginObject();
-        j.field("seconds", c.polled.wallSeconds);
-        j.field("minstr_per_sec", c.polled.minstrPerSec());
-        j.field("cycles_total", c.polled.engine.cyclesTotal);
-        j.endObject();
-        j.key("event").beginObject();
-        j.field("seconds", c.event.wallSeconds);
-        j.field("minstr_per_sec", c.event.minstrPerSec());
-        j.field("cycles_total", c.event.engine.cyclesTotal);
-        j.field("cycles_executed", c.event.engine.cyclesExecuted);
-        j.field("cycles_skipped", c.event.engine.cyclesSkipped);
-        j.field("events_dispatched",
-                c.event.engine.eventsDispatched);
-        j.field("skip_fraction", c.event.engine.skipFraction());
-        j.endObject();
-        j.field("wall_speedup", c.wallSpeedup());
-        j.field("metrics_identical", true);
+        jsonEngineBlock(j, "polled", c.polled);
+        jsonEngineBlock(j, "event", c.event);
+        jsonEngineBlock(j, "auto", c.autorun);
+        j.field("wall_speedup",
+                c.polled.bestSeconds / c.event.bestSeconds);
+        j.field("wall_speedup_auto",
+                c.polled.bestSeconds / c.autorun.bestSeconds);
+        j.field("metrics_identical", true); // asserted fatally above
         j.endObject();
     }
     j.endArray();
-    j.field("geomean_wall_speedup", gmean);
+    j.key("mix_cells").beginArray();
+    for (const auto &m : mixCells) {
+        j.beginObject();
+        j.field("workload", "canneal+mcf+canneal+mcf");
+        j.field("prefetcher", m.prefetcher);
+        j.field("cores", uint64_t(mix4.size()));
+        j.field("sim_threads", uint64_t(kMixThreads));
+        jsonEngineBlock(j, "one_thread", m.one);
+        jsonEngineBlock(j, "threaded", m.threaded);
+        j.field("wall_speedup",
+                m.one.bestSeconds / m.threaded.bestSeconds);
+        j.field("metrics_identical", true); // asserted fatally above
+        j.endObject();
+    }
+    j.endArray();
+    j.key("aggregates").beginObject();
+    jsonAggregate(j, "event", eventSpeedups);
+    jsonAggregate(j, "auto", autoSpeedups);
+    jsonAggregate(j, "threaded_4core", threadedSpeedups);
+    j.endObject();
+    j.field("geomean_wall_speedup", geomean(eventSpeedups));
     j.endObject();
 
     JsonExport doc("engine", j.str());

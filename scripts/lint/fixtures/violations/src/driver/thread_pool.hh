@@ -1,0 +1,10 @@
+// Fixture: raw-thread allow-list — this path is a sanctioned shim,
+// so its std::thread members must NOT fire the rule.
+#pragma once
+#include <thread>
+#include <vector>
+
+struct FixturePool
+{
+    std::vector<std::thread> workers;
+};

@@ -1,0 +1,11 @@
+// Fixture: raw-thread — spawns std::thread outside the shims.
+#include <thread>
+
+void
+rogue()
+{
+    std::thread t([] {}); // line 7: finding
+    t.join();
+    unsigned n = std::thread::hardware_concurrency(); // line 9: finding
+    (void)n;
+}

@@ -14,6 +14,10 @@ and fails the build when a change breaks one statically:
                          metrics, tables) — iteration order would leak
   pointer-order          ordering or hashing raw pointer values —
                          allocator-dependent, differs run to run
+  raw-thread             std::thread/std::jthread outside the two
+                         sanctioned shims (driver/thread_pool.hh and
+                         sim/threaded.{hh,cc}) — ad-hoc threads are
+                         where nondeterminism and leaked joins start
   using-namespace-header `using namespace` at header scope
   pragma-once            header missing `#pragma once`
   register-anchor        GAZE_REGISTER_PREFETCHER without the matching
@@ -210,6 +214,25 @@ def rule_pointer_order(sf):
         "stable id instead")
 
 
+# The sanctioned homes for raw threads: the task pool that runs
+# matrix/campaign cells, and the slice team behind --sim-threads.
+RAW_THREAD_SHIMS = re.compile(
+    r"(driver/thread_pool\.(hh|cc)|sim/threaded\.(hh|cc))$")
+
+RAW_THREAD_RE = re.compile(r"\bstd::(thread|jthread)\b")
+
+
+def rule_raw_thread(sf):
+    if RAW_THREAD_SHIMS.search(sf.relpath):
+        return
+    yield from grep_rule(
+        sf, "raw-thread", [RAW_THREAD_RE],
+        "'%s' uses a raw thread outside the sanctioned shims; go "
+        "through driver/thread_pool.hh (task parallelism) or "
+        "sim/threaded.hh (the cycle-lockstep slice team) so joins, "
+        "exception capture and determinism stay centralized")
+
+
 USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\b")
 
 
@@ -300,6 +323,8 @@ PER_FILE_RULES = [
      "unordered containers in report/export/cell-key/metrics code"),
     ("pointer-order", rule_pointer_order,
      "ordering or hashing raw pointer values"),
+    ("raw-thread", rule_raw_thread,
+     "std::thread outside thread_pool.hh / sim/threaded.*"),
     ("using-namespace-header", rule_using_namespace_header,
      "`using namespace` at header scope"),
     ("pragma-once", rule_pragma_once,

@@ -45,6 +45,18 @@ class ViolationFixtures(unittest.TestCase):
         self.assert_found("src/sim/pointer_key.hh", 11, "pointer-order")
         self.assert_found("src/sim/pointer_key.hh", 16, "pointer-order")
 
+    def test_raw_thread(self):
+        self.assert_found("src/sim/rogue_thread.cc", 7, "raw-thread")
+        self.assert_found("src/sim/rogue_thread.cc", 9, "raw-thread")
+
+    def test_raw_thread_shims_are_allow_listed(self):
+        # The fixture thread_pool.hh holds std::thread members but is
+        # a sanctioned shim path: the rule must stay silent there.
+        self.assertNotIn(
+            "src/driver/thread_pool.hh",
+            [path for path, _, rule in self.findings
+             if rule == "raw-thread"])
+
     def test_using_namespace_header(self):
         self.assert_found("src/common/using_ns.hh", 6,
                           "using-namespace-header")
@@ -74,6 +86,8 @@ class ViolationFixtures(unittest.TestCase):
             ("src/harness/export.cc", 9, "unordered-in-output"),
             ("src/sim/pointer_key.hh", 11, "pointer-order"),
             ("src/sim/pointer_key.hh", 16, "pointer-order"),
+            ("src/sim/rogue_thread.cc", 7, "raw-thread"),
+            ("src/sim/rogue_thread.cc", 9, "raw-thread"),
             ("src/common/using_ns.hh", 6, "using-namespace-header"),
             ("src/common/no_pragma.hh", 1, "pragma-once"),
             ("src/prefetchers/orphan.cc", 5, "register-anchor"),

@@ -67,6 +67,7 @@ runMatrix(const MatrixSpec &spec)
     auto sharedBaselines = std::make_shared<BaselineCache>();
     std::atomic<uint64_t> totalInstr{0}, totalEvents{0};
     std::atomic<uint64_t> totalExecuted{0}, totalSkipped{0};
+    std::atomic<uint64_t> totalFlips{0};
     auto runCell = [&](const WorkloadDef &w, const PfSpec &pf,
                        RunResult *out, double *secs) {
         WallTimer cellTimer;
@@ -85,6 +86,8 @@ runMatrix(const MatrixSpec &spec)
                                 std::memory_order_relaxed);
         totalSkipped.fetch_add(out->engine.cyclesSkipped,
                                std::memory_order_relaxed);
+        totalFlips.fetch_add(out->engine.engineFlips,
+                             std::memory_order_relaxed);
         progress(pf.isNone() ? "baseline" : pf.label(), w.name, dt);
     };
 
@@ -169,6 +172,7 @@ runMatrix(const MatrixSpec &spec)
     result.totalEvents = totalEvents.load();
     result.totalCyclesExecuted = totalExecuted.load();
     result.totalCyclesSkipped = totalSkipped.load();
+    result.totalEngineFlips = totalFlips.load();
     result.seconds = matrixTimer.seconds();
     return result;
 }
@@ -188,6 +192,7 @@ matrixToJson(const MatrixSpec &spec, const MatrixResult &result)
     j.field("level", spec.level);
     j.field("threads", uint64_t(result.threadsUsed));
     j.field("engine", result.engine);
+    j.field("sim_threads", uint64_t(spec.run.system.simThreads));
     // Trace provenance: where the workload streams came from, so a
     // result document is reproducible on its own. trace_dir is null
     // for generator runs (traces regenerated from RNG state).
@@ -265,6 +270,7 @@ matrixToJson(const MatrixSpec &spec, const MatrixResult &result)
     j.field("events_dispatched", result.totalEvents);
     j.field("cycles_executed", result.totalCyclesExecuted);
     j.field("cycles_skipped", result.totalCyclesSkipped);
+    j.field("engine_flips", result.totalEngineFlips);
     uint64_t totalCycles =
         result.totalCyclesExecuted + result.totalCyclesSkipped;
     j.field("skip_fraction",

@@ -1,6 +1,7 @@
 #include "sim/event.hh"
 
 #include <algorithm>
+#include <cstddef>
 
 namespace gaze
 {
@@ -42,6 +43,8 @@ EventQueue::insert(const Entry &e)
 void
 EventQueue::schedule(Event *ev, Cycle when)
 {
+    if (isSuspended)
+        return;
     GAZE_ASSERT(ev != nullptr, "cannot schedule a null event");
     GAZE_ASSERT(!ev->isScheduled, "event is already scheduled");
     Cycle floor = inDispatch ? curCycle : wheelBase;
@@ -65,6 +68,8 @@ EventQueue::schedule(Event *ev, Cycle when)
 void
 EventQueue::scheduleEarlier(Event *ev, Cycle when)
 {
+    if (isSuspended)
+        return;
     if (ev->isScheduled) {
         if (ev->whenCycle <= when)
             return;
@@ -90,10 +95,18 @@ EventQueue::nextEventCycle() const
 {
     Cycle best = kNoEvent;
 
+    size_t baseBucket = bucketOf(wheelBase);
+
+    // Dense fast path: an entry scheduled for the wheel base itself
+    // (every component ticking every cycle) is the earliest anything
+    // can be — only wheelBase maps to its bucket within the horizon,
+    // and the overflow heap holds nothing before the horizon's end.
+    if (occupied[baseBucket >> 6] & (1ULL << (baseBucket & 63)))
+        return wheelBase;
+
     // Scan the occupancy bitmap in circular cycle order starting at
     // the wheel base. Every flagged bucket maps to exactly one cycle
     // in [wheelBase, wheelBase + wheelSize).
-    size_t baseBucket = bucketOf(wheelBase);
     size_t words = occupied.size();
     for (size_t wi = 0; wi <= words && best == kNoEvent; ++wi) {
         size_t word = ((baseBucket >> 6) + wi) % words;
@@ -170,39 +183,41 @@ EventQueue::dispatchCycle(Cycle cycle)
     auto &bucket = wheel[b];
     size_t dispatched = 0;
 
-    // Pop the (priority, token)-minimum live entry until none remain.
-    // Events processed here may append same-cycle entries (a core
-    // waking a downstream cache); the rescan picks them up. Buckets
-    // hold at most a handful of entries, so the quadratic scan is
-    // cheaper than keeping them sorted.
+    // Batch dispatch: drain the bucket into a scratch list sorted by
+    // (priority, schedule token) once and run it straight through.
+    // The dense-mode common case — every component scheduled, nothing
+    // woken mid-cycle — then costs one small sort instead of a
+    // quadratic rescan per pop. Events processed here may still
+    // append same-cycle entries (a core waking a sleeping cache);
+    // the re-fold below merges them into the unrun tail, preserving
+    // exact (priority, token) pop-min order.
+    auto entryBefore = [](const Entry &a, const Entry &b_) {
+        return a.prio != b_.prio ? a.prio < b_.prio
+                                 : a.token < b_.token;
+    };
+    batch.clear();
+    size_t next = 0;
     while (true) {
-        size_t best = bucket.size();
-        for (size_t i = 0; i < bucket.size();) {
-            const Entry &e = bucket[i];
-            GAZE_ASSERT(e.when == cycle,
-                        "foreign-cycle entry in wheel bucket");
-            if (!live(e)) {
-                ++stat.staleDropped;
-                bucket[i] = bucket.back();
-                bucket.pop_back();
-                if (best == bucket.size())
-                    best = i; // best was the moved tail entry
-                continue;
+        if (!bucket.empty()) {
+            for (const Entry &e : bucket) {
+                GAZE_ASSERT(e.when == cycle,
+                            "foreign-cycle entry in wheel bucket");
+                batch.push_back(e);
             }
-            if (best >= bucket.size()
-                || e.prio < bucket[best].prio
-                || (e.prio == bucket[best].prio
-                    && e.token < bucket[best].token))
-                best = i;
-            ++i;
+            bucket.clear();
+            std::sort(batch.begin() + std::ptrdiff_t(next),
+                      batch.end(), entryBefore);
         }
-        if (best >= bucket.size())
+        if (next >= batch.size())
             break;
-
-        Event *ev = bucket[best].ev;
-        bucket[best] = bucket.back();
-        bucket.pop_back();
-
+        // Copy, not a reference: later iterations re-fold into (and
+        // may reallocate) `batch`.
+        const Entry e = batch[next++];
+        if (!live(e)) {
+            ++stat.staleDropped;
+            continue;
+        }
+        Event *ev = e.ev;
         ev->isScheduled = false;
         ev->lastRun = cycle;
         --numScheduled;
@@ -211,7 +226,6 @@ EventQueue::dispatchCycle(Cycle cycle)
         ev->process();
     }
 
-    bucket.clear();
     clearBit(b);
     wheelBase = cycle + 1;
     refillFromHeap();

@@ -140,6 +140,31 @@ class EventQueue
 
     bool dispatching() const { return inDispatch; }
 
+    /**
+     * Suspend scheduling: schedule()/scheduleEarlier() become no-ops
+     * until resume(). The auto engine parks the queue like this during
+     * its polled stints so the per-cycle wake-up traffic of a dense
+     * workload costs nothing; existing entries stay put (possibly
+     * going stale) and a System::scheduleAll() after resume() re-arms
+     * every component via bootstrapWake, which forwards or supersedes
+     * anything stranded in the past.
+     */
+    void
+    suspend()
+    {
+        GAZE_ASSERT(!inDispatch, "cannot suspend mid-dispatch");
+        isSuspended = true;
+    }
+
+    void
+    resume()
+    {
+        GAZE_ASSERT(!inDispatch, "cannot resume mid-dispatch");
+        isSuspended = false;
+    }
+
+    bool suspended() const { return isSuspended; }
+
     /** Live scheduled events (excludes superseded entries). */
     size_t size() const { return numScheduled; }
     bool empty() const { return numScheduled == 0; }
@@ -192,6 +217,10 @@ class EventQueue
     size_t numScheduled = 0;
     Cycle curCycle = 0;
     bool inDispatch = false;
+    bool isSuspended = false;
+
+    /** Scratch list dispatchCycle() drains each bucket into. */
+    std::vector<Entry> batch;
 
     EventQueueStats stat;
 };

@@ -1,14 +1,56 @@
 #include "sim/system.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace gaze
 {
 
+namespace
+{
+
+// ---- Auto-engine policy knobs (all deterministic, all counted in ----
+// ---- cycles, so the adaptive schedule replays identically). ----
+
+/**
+ * Executed cycles per event-dispatch measurement stint. Deliberately
+ * short: on a dense workload every event-dispatched cycle costs a few
+ * times a polled tick, and the startup stint is pure overhead until
+ * the first flip — 1k cycles keeps that under ~3% even for tiny runs
+ * while still sampling enough cycles for a stable skip fraction.
+ */
+constexpr uint64_t kAutoEventStint = 1024;
+
+/** Stint skip fraction at or above which event dispatch is a win. */
+constexpr double kAutoSkipThreshold = 0.20;
+
+/** First polled stint length; doubles per failed event trial. */
+constexpr uint64_t kAutoPolledStintBase = 1ull << 16;
+
+/** Polled-stint backoff ceiling (~4.2M cycles). */
+constexpr uint64_t kAutoPolledStintMax = 1ull << 22;
+
+/** Polled stints probe component wakes every this many cycles. */
+constexpr uint64_t kAutoProbePeriod = 1024;
+
+/** Idle gap (cycles) that ends a polled stint early: flip to event. */
+constexpr uint64_t kAutoFlipGap = 256;
+
+} // namespace
+
 const char *
 engineKindName(EngineKind kind)
 {
-    return kind == EngineKind::Event ? "event" : "polled";
+    switch (kind) {
+      case EngineKind::Event:
+        return "event";
+      case EngineKind::Polled:
+        return "polled";
+      case EngineKind::Auto:
+        return "auto";
+    }
+    return "?";
 }
 
 EngineKind
@@ -18,12 +60,14 @@ parseEngineKind(const std::string &name)
         return EngineKind::Event;
     if (name == "polled")
         return EngineKind::Polled;
+    if (name == "auto")
+        return EngineKind::Auto;
     GAZE_FATAL("unknown simulation engine '", name,
-               "' (known: event, polled)");
+               "' (known: event, polled, auto)");
 }
 
 System::System(const SystemConfig &config)
-    : cfg(config), vm(34)
+    : cfg(config), autoPolledStintLen(kAutoPolledStintBase), vm(34)
 {
     GAZE_ASSERT(cfg.numCores >= 1 && cfg.numCores <= 64, "bad core count");
     // Validate the replacement policy eagerly, before any cache is
@@ -59,7 +103,19 @@ System::System(const SystemConfig &config)
     llcCache = std::make_unique<Cache>(llc_p, dramCtrl.get(), &clock,
                                        &pool);
 
+    // In threaded mode the per-core caches get private request pools
+    // (slice-local allocation, no sharing across workers) and send to
+    // the LLC through a staging portal; see executeThreadedCycle().
+    bool threaded = threadedActive();
+    RequestPool *corePool = threaded ? nullptr : &pool;
+
     for (uint32_t c = 0; c < cfg.numCores; ++c) {
+        MemoryDevice *llcPort = llcCache.get();
+        if (threaded) {
+            portals.push_back(std::make_unique<LlcPortal>(llcCache.get()));
+            llcPort = portals.back().get();
+        }
+
         CacheParams l2_p;
         l2_p.name = "L2C" + std::to_string(c);
         l2_p.level = levelL2;
@@ -71,8 +127,8 @@ System::System(const SystemConfig &config)
         l2_p.wqSize = 32;
         l2_p.pqSize = 16;
         l2_p.replacement = cfg.replacement;
-        l2s.push_back(std::make_unique<Cache>(l2_p, llcCache.get(),
-                                              &clock, &pool));
+        l2s.push_back(std::make_unique<Cache>(l2_p, llcPort, &clock,
+                                              corePool));
 
         CacheParams l1_p;
         l1_p.name = "L1D" + std::to_string(c);
@@ -86,17 +142,19 @@ System::System(const SystemConfig &config)
         l1_p.pqSize = 8;
         l1_p.replacement = cfg.replacement;
         l1ds.push_back(std::make_unique<Cache>(l1_p, l2s.back().get(),
-                                               &clock, &pool));
+                                               &clock, corePool));
 
         cores.push_back(std::make_unique<Core>(cfg.core, c,
                                                l1ds.back().get(), &vm,
                                                &clock));
     }
 
-    if (cfg.engine == EngineKind::Event) {
+    if (!threaded && cfg.engine != EngineKind::Polled) {
         // Priorities reproduce tickAll()'s fixed order: all cores,
         // then L1Ds, L2s, the LLC, DRAM last — so same-cycle events
-        // dispatch exactly as the polled engine ticks.
+        // dispatch exactly as the polled engine ticks. The threaded
+        // loop leaves everything unbound (requestWake no-ops) and
+        // does its own wake bookkeeping in sliceWake.
         int n = static_cast<int>(cfg.numCores);
         for (uint32_t c = 0; c < cfg.numCores; ++c) {
             cores[c]->bindScheduler(&eq, static_cast<int>(c));
@@ -106,21 +164,42 @@ System::System(const SystemConfig &config)
         llcCache->bindScheduler(&eq, 3 * n);
         dramCtrl->bindScheduler(&eq, 3 * n + 1);
     }
+
+    if (threaded) {
+        sliceWake.assign(cfg.numCores, 0);
+        activeSlices.reserve(cfg.numCores);
+        // One L2 can push at most its prefetch issue rate (bounded by
+        // its tag ports) plus a retry and a demand-side spill into the
+        // LLC prefetch queue per cycle; 2*tagPorts + 2 over-covers it.
+        // replay() asserts no staged send is ever rejected, so if this
+        // bound were ever wrong the run dies loudly instead of
+        // silently diverging from the single-threaded engines.
+        maxPqSendsPerSlice = 2 * l2s[0]->params().tagPorts + 2;
+    }
 }
 
 System::~System()
 {
+    // Stop the worker team before the components it ticks go away.
+    team.reset();
     // Tear the hierarchy down first so every in-flight MSHR returns
     // its waiter chain, then hold the pool to its balance contract:
     // anything still outstanding is a leaked Request.
     cores.clear();
     l1ds.clear();
     l2s.clear();
+    portals.clear();
     llcCache.reset();
     dramCtrl.reset();
     GAZE_ASSERT(pool.outstanding() == 0,
                 "request pool imbalance at teardown: ",
                 pool.outstanding(), " node(s) leaked");
+}
+
+bool
+System::threadedActive() const
+{
+    return cfg.simThreads > 1 && cfg.numCores > 1;
 }
 
 void
@@ -151,7 +230,7 @@ System::setL2Prefetcher(uint32_t cpu, std::unique_ptr<Prefetcher> pf)
 }
 
 void
-System::tickAll()
+System::tickComponents()
 {
     for (auto &c : cores)
         c->tick();
@@ -161,8 +240,15 @@ System::tickAll()
         c->tick();
     llcCache->tick();
     dramCtrl->tick();
+}
+
+void
+System::tickAll()
+{
+    tickComponents();
     ++clock;
     ++executedCycles;
+    ++statPolledCycles;
     dispatchedEvents += 3 * uint64_t(cfg.numCores) + 2;
 }
 
@@ -172,8 +258,9 @@ System::scheduleAll()
     // Arm every component at the current cycle so a (re)started run
     // considers it, exactly like the polled engine's unconditional
     // first tickAll(). Anything already scheduled earlier keeps its
-    // slot; anything stranded in the past by a cycle-cap jump is
-    // pulled forward.
+    // slot; anything stranded in the past by a cycle-cap jump (or
+    // gone stale across an auto-engine polled stint) is pulled
+    // forward or superseded.
     for (auto &c : cores)
         c->wakeAt(clock);
     for (auto &c : l1ds)
@@ -184,18 +271,37 @@ System::scheduleAll()
     dramCtrl->wakeAt(clock);
 }
 
+Cycle
+System::minNextWakeCycle() const
+{
+    Cycle m = kNeverWake;
+    for (const auto &c : cores)
+        m = std::min(m, c->nextWakeCycle());
+    for (const auto &c : l1ds)
+        m = std::min(m, c->nextWakeCycle());
+    for (const auto &c : l2s)
+        m = std::min(m, c->nextWakeCycle());
+    m = std::min(m, llcCache->nextWakeCycle());
+    m = std::min(m, dramCtrl->nextWakeCycle());
+    return m;
+}
+
 template <typename DoneFn, typename PostCycleFn>
-bool
-System::eventLoop(uint64_t cap, DoneFn &&done, PostCycleFn &&post)
+System::LoopExit
+System::eventLoop(uint64_t cap, uint64_t exec_limit, DoneFn &&done,
+                  PostCycleFn &&post)
 {
     scheduleAll();
+    uint64_t execBase = executedCycles;
     while (!done()) {
+        if (executedCycles - execBase >= exec_limit)
+            return LoopExit::Stint;
         Cycle next = eq.nextEventCycle();
         if (next == EventQueue::kNoEvent) {
             // Every component asleep with targets unmet: the polled
             // engine would spin no-op cycles to the cap; jump there.
             clock = cap;
-            return false;
+            return LoopExit::Capped;
         }
         if (next < clock) {
             // A cycle flagged only by superseded entries (lazy
@@ -206,7 +312,7 @@ System::eventLoop(uint64_t cap, DoneFn &&done, PostCycleFn &&post)
         }
         if (next >= cap) {
             clock = cap;
-            return false;
+            return LoopExit::Capped;
         }
         clock = next;
         size_t n = eq.dispatchCycle(next);
@@ -217,7 +323,263 @@ System::eventLoop(uint64_t cap, DoneFn &&done, PostCycleFn &&post)
             post();
         }
     }
+    return LoopExit::Done;
+}
+
+template <typename DoneFn, typename PostCycleFn>
+bool
+System::polledLoop(uint64_t cap, DoneFn &&done, PostCycleFn &&post)
+{
+    while (!done()) {
+        if (clock >= cap)
+            return false;
+        tickAll();
+        post();
+    }
     return true;
+}
+
+template <typename DoneFn, typename PostCycleFn>
+System::LoopExit
+System::polledStint(uint64_t cap, uint64_t stint_len, DoneFn &&done,
+                    PostCycleFn &&post)
+{
+    uint64_t ticked = 0;
+    while (true) {
+        if (done())
+            return LoopExit::Done;
+        if (clock >= cap)
+            return LoopExit::Capped;
+        if (ticked >= stint_len)
+            return LoopExit::Stint;
+
+        // Execute the cycle `clock` points at. The wake probe (every
+        // kAutoProbePeriod-th cycle) must run while the clock still
+        // names the cycle just ticked: nextWakeCycle() answers
+        // relative to now(), and post-tick it is always > now(), so a
+        // min over every component bounds the first future cycle any
+        // tick could matter — the same argument that makes the event
+        // engine's skips exact.
+        bool probe = (clock & (kAutoProbePeriod - 1)) == 0;
+        tickComponents();
+        Cycle wake = probe ? minNextWakeCycle() : 0;
+        ++clock;
+        ++executedCycles;
+        ++statPolledCycles;
+        ++ticked;
+        dispatchedEvents += 3 * uint64_t(cfg.numCores) + 2;
+        post();
+
+        if (probe) {
+            if (wake == kNeverWake) {
+                // Nothing will ever self-wake again: either the run
+                // just finished, or it is wedged — jump to the cap
+                // exactly as the event engine does.
+                if (done())
+                    return LoopExit::Done;
+                clock = cap;
+                return LoopExit::Capped;
+            }
+            if (wake > clock) {
+                uint64_t gap = wake - clock;
+                clock = std::min(wake, cap);
+                if (gap >= kAutoFlipGap) {
+                    // A real idle stretch: event dispatch will win.
+                    return LoopExit::Stint;
+                }
+            }
+        }
+    }
+}
+
+template <typename DoneFn, typename PostCycleFn>
+bool
+System::autoLoop(uint64_t cap, DoneFn &&done, PostCycleFn &&post)
+{
+    // Policy: run event-driven by default, measuring the skip
+    // fraction over fixed stints of executed cycles. A dense stint
+    // (skip < kAutoSkipThreshold) parks the event queue and ticks the
+    // polled way for autoPolledStintLen cycles — doubling per failed
+    // event re-trial so steady dense workloads pay the trial tax
+    // geometrically less often — while a periodic wake probe inside
+    // the polled stint still skips (and flips out of) genuinely idle
+    // stretches. Every transition is a function of executed-cycle
+    // counts only, so a given run always takes the same path.
+    while (true) {
+        if (!autoInPolled) {
+            eq.resume();
+            Cycle clockBase = clock;
+            uint64_t execBase = executedCycles;
+            LoopExit ex = eventLoop(cap, kAutoEventStint, done, post);
+            if (ex == LoopExit::Done)
+                return true;
+            if (ex == LoopExit::Capped)
+                return false;
+            uint64_t delta = clock - clockBase;
+            uint64_t exec = executedCycles - execBase;
+            double skip =
+                delta ? double(delta - exec) / double(delta) : 0.0;
+            if (skip >= kAutoSkipThreshold) {
+                // Healthy skipping: stay event, forget the backoff.
+                autoPolledStintLen = kAutoPolledStintBase;
+                continue;
+            }
+            eq.suspend();
+            ++statEngineFlips;
+            autoInPolled = true;
+        } else {
+            uint64_t stint = autoPolledStintLen;
+            autoPolledStintLen =
+                std::min(autoPolledStintLen * 2, kAutoPolledStintMax);
+            LoopExit ex = polledStint(cap, stint, done, post);
+            if (ex == LoopExit::Done)
+                return true;
+            if (ex == LoopExit::Capped)
+                return false;
+            // Stint over (or an idle gap opened): trial event mode.
+            // scheduleAll() at eventLoop entry re-arms every
+            // component, repairing whatever went stale in the queue
+            // while it was suspended.
+            ++statEngineFlips;
+            autoInPolled = false;
+        }
+    }
+}
+
+Cycle
+System::executeThreadedCycle()
+{
+    // Which slices are due this cycle? sliceWake is exact (see below),
+    // so a skipped slice's ticks would all have been no-ops.
+    activeSlices.clear();
+    for (uint32_t c = 0; c < cfg.numCores; ++c) {
+        if (sliceWake[c] <= clock)
+            activeSlices.push_back(c);
+    }
+    uint32_t active = static_cast<uint32_t>(activeSlices.size());
+
+    // Backpressure guard: the parallel phase replaces the LLC's
+    // accept/reject answer with unconditional staging, which is only
+    // faithful if the LLC could not have rejected anything. Its read
+    // and writeback queues are sized so the L2 MSHRs can never
+    // overrun them; the prefetch queue is the one that can fill, so
+    // run parallel only when even a worst-case burst fits, and fall
+    // back to exact inline (passthrough) execution otherwise.
+    bool parallel =
+        active > 1
+        && llcCache->pqOccupancy()
+                   + uint64_t(active) * maxPqSendsPerSlice
+               <= llcCache->params().pqSize;
+
+    if (parallel) {
+        for (uint32_t c : activeSlices)
+            portals[c]->setStaging(true);
+        team->runCycle(active);
+        for (uint32_t c : activeSlices) {
+            // Replay in core order: the LLC sees the same arrival
+            // sequence the single-threaded engines produce.
+            portals[c]->setStaging(false);
+            portals[c]->replay();
+        }
+    } else {
+        // Serial fallback (also the 0/1-active-slice fast path):
+        // exact single-threaded semantics, portals passing through.
+        for (uint32_t c : activeSlices) {
+            cores[c]->tick();
+            l1ds[c]->tick();
+            l2s[c]->tick();
+        }
+    }
+
+    // Cross-core structures always run serially, every executed
+    // cycle, on this thread — this is where LLC fills mutate L2s/L1s
+    // and cores, which is why the wake recomputation must come after.
+    llcCache->tick();
+    dramCtrl->tick();
+
+    ++executedCycles;
+    dispatchedEvents += 3 * uint64_t(active) + 2;
+
+    // Recompute every wake with the clock still naming the executed
+    // cycle (nextWakeCycle() answers relative to now()). Serial-phase
+    // fills can have woken slices that did not run this cycle, so all
+    // of them are refreshed, not just the active ones.
+    Cycle wake = kNeverWake;
+    for (uint32_t c = 0; c < cfg.numCores; ++c) {
+        Cycle w = cores[c]->nextWakeCycle();
+        w = std::min(w, l1ds[c]->nextWakeCycle());
+        w = std::min(w, l2s[c]->nextWakeCycle());
+        sliceWake[c] = w;
+        wake = std::min(wake, w);
+    }
+    wake = std::min(wake, llcCache->nextWakeCycle());
+    wake = std::min(wake, dramCtrl->nextWakeCycle());
+    ++clock;
+    return wake;
+}
+
+template <typename DoneFn, typename PostCycleFn>
+bool
+System::threadedLoop(uint64_t cap, DoneFn &&done, PostCycleFn &&post)
+{
+    if (!team) {
+        // One worker per extra slice at most; the team persists
+        // across run()/simulate() calls (parked in between).
+        team = std::make_unique<SliceTeam>(
+            std::min(cfg.simThreads, cfg.numCores));
+    }
+    // Mirror scheduleAll(): the first cycle of a (re)started run
+    // considers every component unconditionally.
+    std::fill(sliceWake.begin(), sliceWake.end(), clock);
+    Cycle wake = clock;
+
+    team->beginRun([this](uint32_t i) {
+        uint32_t c = activeSlices[i];
+        cores[c]->tick();
+        l1ds[c]->tick();
+        l2s[c]->tick();
+    });
+    struct RunGuard
+    {
+        SliceTeam *t;
+        ~RunGuard() { t->endRun(); }
+    } guard{team.get()};
+
+    while (!done()) {
+        if (clock >= cap)
+            return false;
+        if (wake == kNeverWake) {
+            // Nothing schedulable with targets unmet: wedged; jump to
+            // the cap exactly as the event engine does.
+            clock = cap;
+            return false;
+        }
+        if (wake > clock) {
+            clock = std::min(wake, cap);
+            if (clock >= cap)
+                return false;
+        }
+        wake = executeThreadedCycle();
+        post();
+    }
+    return true;
+}
+
+template <typename DoneFn, typename PostCycleFn>
+bool
+System::driveLoop(uint64_t cap, DoneFn &&done, PostCycleFn &&post)
+{
+    if (threadedActive())
+        return threadedLoop(cap, done, post);
+    switch (cfg.engine) {
+      case EngineKind::Event:
+        return eventLoop(cap, kNeverWake, done, post) == LoopExit::Done;
+      case EngineKind::Polled:
+        return polledLoop(cap, done, post);
+      case EngineKind::Auto:
+        return autoLoop(cap, done, post);
+    }
+    return false;
 }
 
 void
@@ -237,21 +599,8 @@ System::run(uint64_t instr_per_core)
         return true;
     };
 
-    if (cfg.engine == EngineKind::Event) {
-        if (!eventLoop(cap, all_done, [] {}))
-            GAZE_WARN("run() hit the cycle cap; simulation wedged?");
-        return;
-    }
-
-    while (true) {
-        if (all_done())
-            return;
-        if (clock >= cap) {
-            GAZE_WARN("run() hit the cycle cap; simulation wedged?");
-            return;
-        }
-        tickAll();
-    }
+    if (!driveLoop(cap, all_done, [] {}))
+        GAZE_WARN("run() hit the cycle cap; simulation wedged?");
 }
 
 void
@@ -295,15 +644,7 @@ System::simulate(uint64_t instr_per_core)
         }
     };
 
-    if (cfg.engine == EngineKind::Event) {
-        eventLoop(cap, [&] { return remaining == 0; },
-                  recordFinishers);
-    } else {
-        while (remaining > 0 && clock < cap) {
-            tickAll();
-            recordFinishers();
-        }
-    }
+    driveLoop(cap, [&] { return remaining == 0; }, recordFinishers);
 
     if (remaining > 0)
         GAZE_WARN("simulate() hit the cycle cap with ", remaining,
@@ -321,11 +662,15 @@ EngineStats
 System::engineStats() const
 {
     EngineStats s;
-    s.eventDriven = cfg.engine == EngineKind::Event;
+    s.eventDriven = cfg.engine != EngineKind::Polled || threadedActive();
+    s.kind = cfg.engine;
+    s.simThreads = cfg.simThreads;
     s.cyclesTotal = clock;
     s.cyclesExecuted = executedCycles;
     s.cyclesSkipped = clock - executedCycles;
     s.eventsDispatched = dispatchedEvents;
+    s.engineFlips = statEngineFlips;
+    s.polledCycles = statPolledCycles;
     return s;
 }
 

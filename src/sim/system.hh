@@ -19,6 +19,7 @@
 #include "sim/event.hh"
 #include "sim/prefetcher.hh"
 #include "sim/request_pool.hh"
+#include "sim/threaded.hh"
 #include "sim/trace.hh"
 #include "sim/vmem.hh"
 
@@ -26,18 +27,27 @@ namespace gaze
 {
 
 /**
- * How the system advances time. Both engines produce bit-identical
- * metrics (test_engine asserts it); Event skips idle cycles and is
- * the default, Polled ticks every component every cycle and remains
- * as the reference implementation and bench_engine baseline.
+ * How the system advances time. All engines produce bit-identical
+ * metrics (test_engine / test_engine_diff assert it); Event skips
+ * idle cycles and is the default, Polled ticks every component every
+ * cycle and remains the reference implementation and bench_engine
+ * baseline, and Auto measures the skip fraction as it runs and flips
+ * between the two dispatch strategies mid-run so dense workloads do
+ * not pay the event queue's overhead.
+ *
+ * Orthogonally, `SystemConfig::simThreads > 1` runs a multi-core
+ * system's per-core slices on worker threads (cycle-lockstep
+ * fork/join, see threaded.hh); that loop both ticks like Polled and
+ * skips like Event, and is engaged for any engine kind.
  */
 enum class EngineKind
 {
-    Event, ///< timing-wheel scheduler, idle cycles skipped in O(1)
-    Polled ///< classic tickAll() loop
+    Event,  ///< timing-wheel scheduler, idle cycles skipped in O(1)
+    Polled, ///< classic tickAll() loop
+    Auto    ///< adaptive: flips between Event and Polled dispatch
 };
 
-/** CLI name of an engine ("event" / "polled"). */
+/** CLI name of an engine ("event" / "polled" / "auto"). */
 const char *engineKindName(EngineKind kind);
 
 /** Parse an --engine= value; fatal on anything unknown. */
@@ -48,8 +58,16 @@ struct SystemConfig
 {
     uint32_t numCores = 1;
 
-    /** Simulation engine (results are identical either way). */
+    /** Simulation engine (results are identical for every kind). */
     EngineKind engine = EngineKind::Event;
+
+    /**
+     * Worker threads for multi-core runs (1 = single-threaded).
+     * Takes effect when both simThreads > 1 and numCores > 1; results
+     * are bit-identical to single-threaded for any value. Thread
+     * counts beyond numCores are clamped (one slice per core).
+     */
+    uint32_t simThreads = 1;
 
     CoreParams core;
 
@@ -87,17 +105,17 @@ struct SystemConfig
  */
 struct EngineStats
 {
-    bool eventDriven = true;
+    bool eventDriven = true; ///< engine can skip cycles (kind != Polled)
+    EngineKind kind = EngineKind::Event;
+    uint32_t simThreads = 1;       ///< configured worker threads
     uint64_t cyclesTotal = 0;      ///< simulated cycles (clock)
     uint64_t cyclesExecuted = 0;   ///< cycles at least one event ran
     uint64_t cyclesSkipped = 0;    ///< idle cycles jumped over
     uint64_t eventsDispatched = 0; ///< component ticks performed
+    uint64_t engineFlips = 0;      ///< auto-mode dispatch switches
+    uint64_t polledCycles = 0;     ///< cycles run by polled dispatch
 
-    const char *
-    kindName() const
-    {
-        return eventDriven ? "event" : "polled";
-    }
+    const char *kindName() const { return engineKindName(kind); }
 
     double
     skipFraction() const
@@ -176,20 +194,79 @@ class System
     const SystemConfig &config() const { return cfg; }
 
   private:
+    /** How an inner simulation loop stopped. */
+    enum class LoopExit
+    {
+        Done,  ///< the done() predicate fired
+        Capped,///< cycle cap reached (or wedged: nothing schedulable)
+        Stint  ///< stint budget exhausted / adaptive flip requested
+    };
+
+    /** Tick every component once at the current cycle (no clock). */
+    void tickComponents();
+
+    /** tickComponents() plus the clock/speed-counter bookkeeping. */
     void tickAll();
 
     /** Event mode: make sure every component considers cycle `clock`. */
     void scheduleAll();
 
+    /** Earliest next wake over every component (kNeverWake if none). */
+    Cycle minNextWakeCycle() const;
+
+    /** True when this run executes per-core slices on worker threads. */
+    bool threadedActive() const;
+
     /**
-     * Event-driven inner loop shared by run() and simulate(): advance
-     * the clock to each next event cycle and dispatch it, until
-     * @p done returns true (checked between cycles, exactly where the
-     * polled loops check) or the cycle cap is hit. Returns false on a
-     * cap/wedge stop.
+     * Event-driven inner loop shared by run(), simulate() and the
+     * auto engine: advance the clock to each next event cycle and
+     * dispatch it, until @p done returns true (checked between
+     * cycles, exactly where the polled loops check), the cycle cap is
+     * hit, or @p exec_limit more cycles have executed (auto-engine
+     * stints; pass kNeverWake for no limit).
      */
     template <typename DoneFn, typename PostCycleFn>
-    bool eventLoop(uint64_t cap, DoneFn &&done, PostCycleFn &&post);
+    LoopExit eventLoop(uint64_t cap, uint64_t exec_limit, DoneFn &&done,
+                       PostCycleFn &&post);
+
+    /** Classic tick-every-cycle loop (engine == Polled). */
+    template <typename DoneFn, typename PostCycleFn>
+    bool polledLoop(uint64_t cap, DoneFn &&done, PostCycleFn &&post);
+
+    /**
+     * One polled stint of the auto engine: tick up to @p stint_len
+     * cycles without the event queue, probing the components'
+     * nextWakeCycle() periodically so genuinely idle stretches are
+     * still skipped exactly; an idle gap of kAutoFlipGap+ cycles ends
+     * the stint early (flip back to event dispatch).
+     */
+    template <typename DoneFn, typename PostCycleFn>
+    LoopExit polledStint(uint64_t cap, uint64_t stint_len, DoneFn &&done,
+                         PostCycleFn &&post);
+
+    /** Adaptive loop (engine == Auto): see system.cc for the policy. */
+    template <typename DoneFn, typename PostCycleFn>
+    bool autoLoop(uint64_t cap, DoneFn &&done, PostCycleFn &&post);
+
+    /**
+     * Multi-threaded loop: per-core slices fork/joined across the
+     * SliceTeam every executed cycle, LLC/DRAM and all cross-core
+     * traffic serialized on this thread, idle stretches skipped via
+     * the same global min-wake argument the event engine uses.
+     */
+    template <typename DoneFn, typename PostCycleFn>
+    bool threadedLoop(uint64_t cap, DoneFn &&done, PostCycleFn &&post);
+
+    /**
+     * Execute the cycle `clock` points at (threaded mode), advance the
+     * clock past it and return the earliest cycle at which any
+     * component next needs to run (kNeverWake when none do).
+     */
+    Cycle executeThreadedCycle();
+
+    /** Dispatch to the loop this config runs (engine × threading). */
+    template <typename DoneFn, typename PostCycleFn>
+    bool driveLoop(uint64_t cap, DoneFn &&done, PostCycleFn &&post);
 
     SystemConfig cfg;
     Cycle clock = 0;
@@ -203,14 +280,30 @@ class System
     // Engine-speed accounting (see EngineStats).
     uint64_t executedCycles = 0;
     uint64_t dispatchedEvents = 0;
+    uint64_t statEngineFlips = 0;
+    uint64_t statPolledCycles = 0;
+
+    // Auto-engine state: which dispatch strategy is live, and the
+    // exponential-backoff length of the next polled stint (reset when
+    // an event stint measures a healthy skip fraction).
+    bool autoInPolled = false;
+    uint64_t autoPolledStintLen;
 
     VirtualMemory vm;
     std::unique_ptr<Dram> dramCtrl;
     std::unique_ptr<Cache> llcCache;
+    // Portals are declared before the L2s that send through them.
+    std::vector<std::unique_ptr<LlcPortal>> portals;
     std::vector<std::unique_ptr<Cache>> l2s;
     std::vector<std::unique_ptr<Cache>> l1ds;
     std::vector<std::unique_ptr<Core>> cores;
     std::vector<std::unique_ptr<Prefetcher>> ownedPrefetchers;
+
+    // Threaded-mode state (see threaded.hh and executeThreadedCycle).
+    std::unique_ptr<SliceTeam> team;
+    std::vector<Cycle> sliceWake;      ///< per-slice next-wake cycle
+    std::vector<uint32_t> activeSlices;///< slices due this cycle
+    uint32_t maxPqSendsPerSlice = 0;   ///< LLC-pq backpressure budget
 };
 
 } // namespace gaze

@@ -1,0 +1,171 @@
+#include "sim/threaded.hh"
+
+#include "common/log.hh"
+
+namespace gaze
+{
+
+namespace
+{
+
+/** Spin iterations before a waiter starts yielding its timeslice. */
+constexpr int kSpinBeforeYield = 1 << 14;
+
+} // namespace
+
+SliceTeam::SliceTeam(uint32_t threads)
+    : memberCount(threads), errors(threads)
+{
+    GAZE_ASSERT(threads >= 1, "a slice team needs at least one member");
+    // Pure spinning assumes every member owns a hardware thread. When
+    // the team is oversubscribed (CI containers, TSan runs), a waiter
+    // spinning only steals time from the thread it is waiting FOR —
+    // yield immediately instead. hardware_concurrency() may report 0
+    // ("unknown"); treat that as oversubscribed, the safe direction.
+    uint32_t hw = std::thread::hardware_concurrency();
+    spinLimit = (hw >= threads) ? kSpinBeforeYield : 0;
+    workers.reserve(threads - 1);
+    for (uint32_t m = 1; m < threads; ++m)
+        workers.emplace_back([this, m] { workerMain(m); });
+}
+
+SliceTeam::~SliceTeam()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        phase.store(Stopping, std::memory_order_release);
+    }
+    cv.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+SliceTeam::beginRun(std::function<void(uint32_t)> fn)
+{
+    GAZE_ASSERT(phase.load(std::memory_order_relaxed) == Parked,
+                "beginRun on a team that is already running");
+    sliceFn = std::move(fn);
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        // Release-publish sliceFn/sliceCount to workers waking on the
+        // condition variable *and* to any straggler still spinning from
+        // the previous run (it acquire-loads phase each iteration).
+        phase.store(Active, std::memory_order_release);
+    }
+    cv.notify_all();
+}
+
+void
+SliceTeam::endRun()
+{
+    GAZE_ASSERT(phase.load(std::memory_order_relaxed) == Active,
+                "endRun without a matching beginRun");
+    // No cycle is in flight (runCycle joined), so no go-token bump is
+    // pending: workers are spinning on (goToken, phase) and will see
+    // this store, park on the condition variable, and be re-armed by
+    // the predicate check of the next beginRun even if they race it.
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        phase.store(Parked, std::memory_order_release);
+    }
+    sliceFn = nullptr;
+    sliceCount = 0;
+}
+
+void
+SliceTeam::runCycle(uint32_t slices)
+{
+    GAZE_ASSERT(phase.load(std::memory_order_relaxed) == Active,
+                "runCycle outside beginRun/endRun");
+    // The previous join saw every worker's arrival increment, so no
+    // late increment can race this reset — and no worker can still be
+    // reading the previous sliceCount, making the plain store safe.
+    sliceCount = slices;
+    arrived.store(0, std::memory_order_relaxed);
+    goToken.fetch_add(1, std::memory_order_release);
+
+    runSlices(0); // the coordinator is member 0
+
+    // Join: the acquire pairs with each worker's release increment,
+    // making all slice writes visible once the count completes. Spin
+    // first — cycles are microseconds apart — but yield eventually so
+    // oversubscribed hosts (TSan CI) still make progress.
+    uint32_t needed = memberCount - 1;
+    int spins = 0;
+    while (arrived.load(std::memory_order_acquire) < needed) {
+        if (++spins > spinLimit)
+            std::this_thread::yield();
+    }
+
+    if (hasError.load(std::memory_order_acquire)) {
+        for (uint32_t m = 0; m < memberCount; ++m) {
+            if (errors[m]) {
+                std::exception_ptr e = errors[m];
+                for (auto &slot : errors)
+                    slot = nullptr;
+                hasError.store(false, std::memory_order_relaxed);
+                std::rethrow_exception(e);
+            }
+        }
+    }
+}
+
+void
+SliceTeam::runSlices(uint32_t member)
+{
+    try {
+        for (uint32_t s = member; s < sliceCount; s += memberCount)
+            sliceFn(s);
+    } catch (...) {
+        errors[member] = std::current_exception();
+        hasError.store(true, std::memory_order_release);
+    }
+}
+
+void
+SliceTeam::workerMain(uint32_t member)
+{
+    // The go token is bumped only by runCycle(), exactly once per
+    // cycle, so "token != seenToken" unambiguously means "run one
+    // cycle" and every bump is consumed exactly once. Park/stop are
+    // signalled through `phase` alone, which the spin loop polls.
+    // seenToken starts at the token's initial value, NOT a load of
+    // its current one: a worker scheduled late could otherwise miss a
+    // bump issued before it got here and deadlock the first join.
+    uint64_t seenToken = 0;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lk(mu);
+            cv.wait(lk, [this] {
+                return phase.load(std::memory_order_relaxed) != Parked;
+            });
+        }
+        while (true) {
+            uint64_t t;
+            uint32_t p;
+            int spins = 0;
+            for (;;) {
+                t = goToken.load(std::memory_order_acquire);
+                p = phase.load(std::memory_order_acquire);
+                if (t != seenToken || p != Active)
+                    break;
+                if (++spins > spinLimit)
+                    std::this_thread::yield();
+            }
+            if (t != seenToken) {
+                // A cycle is pending; run it even if the phase just
+                // changed (runCycle() is still waiting on the join).
+                seenToken = t;
+                runSlices(member);
+                arrived.fetch_add(1, std::memory_order_release);
+                continue;
+            }
+            if (p == Stopping)
+                return;
+            break; // Parked: back to the condition variable.
+        }
+    }
+}
+
+} // namespace gaze

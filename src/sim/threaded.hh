@@ -1,0 +1,186 @@
+/**
+ * @file
+ * SliceTeam: the persistent worker team behind multi-threaded
+ * simulation (`--sim-threads=N`). The threaded engine runs every
+ * simulated cycle as a fork/join pair: a parallel phase where each
+ * worker ticks its assigned per-core slices ({core, L1D, L2}), then a
+ * serial phase on the coordinating thread (staged LLC sends replayed
+ * in core order, LLC + DRAM ticks). Results stay bitwise identical to
+ * the single-threaded engines because slices share no mutable state
+ * during the parallel phase and everything cross-core is serialized.
+ *
+ * The join happens hundreds of thousands of times per second, so the
+ * per-cycle barrier is pure atomics (a release-published go token and
+ * an arrival counter) — no mutex, no condition variable, and no
+ * wall-clock reads on the hot path. Workers park on a condition
+ * variable only *between* runs (beginRun/endRun), where latency does
+ * not matter.
+ *
+ * This header is the one sanctioned home (with driver/thread_pool.hh)
+ * for raw std::thread use; gaze_lint's raw-thread rule points all
+ * other code at these shims.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/log.hh"
+#include "sim/request.hh"
+
+namespace gaze
+{
+
+/**
+ * The per-core valve between an L2 and the shared LLC that keeps the
+ * parallel phase share-nothing. In passthrough mode it forwards
+ * sendRequest() straight to the LLC (single-threaded semantics, used
+ * for serial-fallback cycles). In staging mode — the parallel phase —
+ * it records the request instead, and System replays every slice's
+ * staged requests into the LLC in core order during the serial phase,
+ * reproducing the exact arrival order of the single-threaded engines.
+ *
+ * Staging unconditionally "accepts": the threaded loop only runs a
+ * cycle in parallel when a backpressure guard proves the LLC could
+ * not have rejected any of it (see System::executeThreadedCycle), and
+ * replay() re-asserts that by checking every real send.
+ */
+class LlcPortal : public MemoryDevice
+{
+  public:
+    explicit LlcPortal(MemoryDevice *llc_) : llc(llc_) {}
+
+    void setStaging(bool on) { staging = on; }
+
+    bool
+    sendRequest(const Request &req) override
+    {
+        if (!staging)
+            return llc->sendRequest(req);
+        staged.push_back(req);
+        return true;
+    }
+
+    /** Never ticked: the portal is wiring, not a component. */
+    void tick() override {}
+
+    /** Forward staged requests to the LLC, in issue order. */
+    void
+    replay()
+    {
+        for (const Request &req : staged) {
+            [[maybe_unused]] bool ok = llc->sendRequest(req);
+            GAZE_ASSERT(ok, "LLC rejected a staged request despite the "
+                        "backpressure guard");
+        }
+        staged.clear();
+    }
+
+    size_t stagedCount() const { return staged.size(); }
+
+  private:
+    MemoryDevice *llc;
+    bool staging = false;
+    std::vector<Request> staged;
+};
+
+/**
+ * A fixed team of threads (the constructing thread included) that
+ * executes `fn(slice)` for every slice of a cycle, fork/join style.
+ *
+ * Usage:
+ *   SliceTeam team(threads);
+ *   team.beginRun(slices, fn);     // binds work, unparks the workers
+ *   for each cycle: team.runCycle();
+ *   team.endRun();                 // parks the workers again
+ *
+ * Slices are statically partitioned round-robin over the members, so
+ * the assignment — and therefore any slice-local side effect order —
+ * is deterministic for a given (slices, threads) pair; the simulation
+ * keeps cross-slice effects out of the parallel phase entirely, which
+ * is what makes results independent of the thread count too.
+ *
+ * Exceptions thrown by fn are captured per member and rethrown (first
+ * member wins, deterministically) from runCycle() after the join; the
+ * team stays usable afterwards and tears down cleanly either way.
+ */
+class SliceTeam
+{
+  public:
+    /** @param threads total team size including the caller (>= 1). */
+    explicit SliceTeam(uint32_t threads);
+
+    /** Joins the workers; safe while parked or active. */
+    ~SliceTeam();
+
+    SliceTeam(const SliceTeam &) = delete;
+    SliceTeam &operator=(const SliceTeam &) = delete;
+
+    /**
+     * Bind this run's work function and unpark the workers. No
+     * runCycle() may be in flight.
+     */
+    void beginRun(std::function<void(uint32_t)> fn);
+
+    /** Park the workers (they spin while a run is open). */
+    void endRun();
+
+    /**
+     * One parallel phase over @p slices slices: every member (caller
+     * included) runs its round-robin share; returns once all have
+     * finished. Rethrows the first captured slice exception, if any.
+     */
+    void runCycle(uint32_t slices);
+
+    /** Total members, caller included. */
+    uint32_t threadCount() const { return memberCount; }
+
+  private:
+    enum Phase : uint32_t
+    {
+        Parked,  ///< workers wait on the condition variable
+        Active,  ///< workers spin on the go token
+        Stopping ///< workers exit
+    };
+
+    void workerMain(uint32_t member);
+
+    /** Run member's round-robin share of the slices, capturing. */
+    void runSlices(uint32_t member);
+
+    uint32_t memberCount;
+    /**
+     * This cycle's slice count. Written by the coordinator before the
+     * go-token bump that publishes it (release) and read by workers
+     * only after acquiring that bump, so it needs no atomicity.
+     */
+    uint32_t sliceCount = 0;
+    std::function<void(uint32_t)> sliceFn;
+
+    // Park/unpark path (cold): phase transitions under the mutex.
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<uint32_t> phase{Parked};
+
+    // Per-cycle barrier (hot): coordinator bumps goToken (release),
+    // workers spin-acquire it, run, then bump arrived (release).
+    std::atomic<uint64_t> goToken{0};
+    std::atomic<uint32_t> arrived{0};
+
+    std::atomic<bool> hasError{false};
+    std::vector<std::exception_ptr> errors; ///< one slot per member
+
+    /** Spin budget before yielding (0 when oversubscribed). */
+    int spinLimit = 0;
+
+    std::vector<std::thread> workers;
+};
+
+} // namespace gaze
