@@ -12,7 +12,8 @@
 #                           full `ctest` adds on top)
 #   4. smokes               registry JSON contract (registry_check.py),
 #                           trace record->validate->replay, campaign
-#                           cache, engine throughput
+#                           cache, engine throughput, obs trace
+#                           (validate_obs.py on a fresh --obs-trace)
 #
 # Variants:
 #   ./scripts/check.sh                    normal gate, build/
@@ -170,5 +171,19 @@ GAZE_SIM_SCALE=0.02 ./src/gaze_sim --quiet \
     --prefetchers=ip_stride --workloads=mcf \
     --cores=4 --sim-threads=4 --warmup=1000 --sim=4000 \
     --out=engine_threaded_smoke.json
+
+# Observability smoke: one matrix with the tracer and sampler on must
+# leave a valid Chrome-trace JSON (validate_obs.py pins the span
+# nesting + metadata contract, fail-fast) and an interval-timeline
+# CSV with the canonical header.
+GAZE_SIM_SCALE=0.02 ./src/gaze_sim --quiet \
+    --prefetchers=gaze,ip_stride --workloads=mcf \
+    --warmup=2000 --sim=8000 \
+    --obs-trace=obs_smoke_trace.json \
+    --obs-timeline=obs_smoke_timeline.csv \
+    --obs-interval=2048 \
+    --out=obs_smoke.json
+python3 ../scripts/validate_obs.py obs_smoke_trace.json
+head -1 obs_smoke_timeline.csv | grep -q "^prefetcher,workload,cycle,"
 
 echo "check.sh: all stages passed"

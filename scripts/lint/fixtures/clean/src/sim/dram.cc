@@ -1,0 +1,9 @@
+// Fixture: instrumented sim file whose mutations are all listed in
+// the obs manifest; obs-direct-mutation must stay silent.
+
+void
+finishRead(Stats &stat, unsigned latency)
+{
+    ++stat.reads;
+    stat.readLatencySum += latency;
+}

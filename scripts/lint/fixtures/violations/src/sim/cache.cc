@@ -1,0 +1,9 @@
+// Fixture: an instrumented sim file. loadMiss is in the manifest
+// (clean); rogueCounter is not (obs-direct-mutation).
+
+void
+tickStats(Stats &stat)
+{
+    ++stat.loadMiss;
+    stat.rogueCounter += 2;
+}

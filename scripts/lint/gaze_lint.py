@@ -23,6 +23,11 @@ and fails the build when a change breaks one statically:
   register-anchor        GAZE_REGISTER_PREFETCHER without the matching
                          force-link anchor in prefetchers/registry.cc
                          (the static-lib linker would drop the scheme)
+  obs-direct-mutation    a `stat.<field>` counter mutated in an
+                         instrumented sim file without a matching
+                         GAZE_OBS_*_STAT entry in obs/stat_names.inc —
+                         the obs registry (and every --obs-timeline
+                         column) would silently miss the counter
 
 Findings print as `file:line: [rule-id] message` and make the exit
 status 1. A finding can be suppressed where the code is genuinely
@@ -316,6 +321,60 @@ def rule_register_anchor(files):
                 "anchor" % (ident, ident))
 
 
+# Sim files whose `stat.` counter mutations must be mirrored in the
+# obs bind manifest; the includer-side macros in system.cc turn each
+# manifest entry into a registry binding.
+OBS_INSTRUMENTED_FILES = re.compile(r"sim/(cache|core|dram|event)\.cc$")
+OBS_MANIFEST = "obs/stat_names.inc"
+OBS_MUTATION_RE = re.compile(r"\bstat\.(\w+)")
+OBS_BINDING_RE = re.compile(
+    r"\bGAZE_OBS_(?:CACHE|CORE|DRAM|EVENT)_STAT\((\w+)\)")
+
+
+def rule_obs_direct_mutation(files):
+    """Whole-tree rule: every counter field mutated through the
+    `stat.` member in an instrumented sim file must be named in the
+    obs bind manifest (obs/stat_names.inc). The manifest is what the
+    registry binds, so an unlisted counter would exist in --engine
+    stats yet silently never appear in any --obs-timeline column.
+    (The reverse direction needs no rule: a stale manifest entry
+    names a nonexistent field and fails to compile.)"""
+    manifest = None
+    for sf in files:
+        if sf.relpath.endswith(OBS_MANIFEST):
+            manifest = sf
+            break
+    mutated = {}  # field name -> first (file, line) mutating it
+    for sf in files:
+        if not OBS_INSTRUMENTED_FILES.search(sf.relpath):
+            continue
+        for lineno, line in enumerate(sf.lines, 1):
+            if "++" not in line and "+=" not in line:
+                continue
+            for m in OBS_MUTATION_RE.finditer(line):
+                mutated.setdefault(m.group(1), (sf.relpath, lineno))
+    if not mutated:
+        return
+    if manifest is None:
+        first = sorted(mutated.items())[0]
+        yield Finding(first[1][0], first[1][1], "obs-direct-mutation",
+                      "stat counters are mutated but %s was not "
+                      "scanned; run on the whole src/ tree"
+                      % OBS_MANIFEST)
+        return
+    bound = set()
+    for line in manifest.lines:
+        for m in OBS_BINDING_RE.finditer(line):
+            bound.add(m.group(1))
+    for name, (path, lineno) in sorted(mutated.items()):
+        if name not in bound:
+            yield Finding(
+                path, lineno, "obs-direct-mutation",
+                "counter 'stat.%s' is mutated here but not listed in "
+                "%s; add a GAZE_OBS_*_STAT(%s) entry so the obs "
+                "registry binds it" % (name, OBS_MANIFEST, name))
+
+
 PER_FILE_RULES = [
     ("wall-clock", rule_wall_clock,
      "host clock/entropy outside harness/wallclock.hh"),
@@ -334,6 +393,8 @@ PER_FILE_RULES = [
 TREE_RULES = [
     ("register-anchor", rule_register_anchor,
      "GAZE_REGISTER_PREFETCHER without a registry.cc anchor"),
+    ("obs-direct-mutation", rule_obs_direct_mutation,
+     "stat counter mutated without an obs/stat_names.inc entry"),
 ]
 
 ALL_RULE_IDS = ([rid for rid, _, _ in PER_FILE_RULES]
@@ -350,7 +411,7 @@ def collect_files(root, paths):
         for dirpath, dirnames, filenames in os.walk(full):
             dirnames.sort()
             for name in sorted(filenames):
-                if name.endswith((".cc", ".hh", ".h", ".cpp")):
+                if name.endswith((".cc", ".hh", ".h", ".cpp", ".inc")):
                     rels.append(os.path.relpath(
                         os.path.join(dirpath, name), root))
     return rels

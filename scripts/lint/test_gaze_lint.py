@@ -78,6 +78,16 @@ class ViolationFixtures(unittest.TestCase):
                 self.assertNotEqual((path, line),
                                     ("src/prefetchers/orphan.cc", 6))
 
+    def test_obs_direct_mutation(self):
+        self.assert_found("src/sim/cache.cc", 8, "obs-direct-mutation")
+
+    def test_obs_listed_counter_is_clean(self):
+        # ++stat.loadMiss (line 7) is in the fixture manifest: the
+        # rule must fire only on the unlisted rogueCounter.
+        for path, line, rule in self.findings:
+            if rule == "obs-direct-mutation":
+                self.assertEqual((path, line), ("src/sim/cache.cc", 8))
+
     def test_exact_finding_set(self):
         # No rule may fire anywhere a fixture did not plant it.
         self.assertEqual(sorted(self.findings), sorted([
@@ -92,6 +102,7 @@ class ViolationFixtures(unittest.TestCase):
             ("src/common/no_pragma.hh", 1, "pragma-once"),
             ("src/prefetchers/orphan.cc", 5, "register-anchor"),
             ("src/prefetchers/registry.cc", 9, "register-anchor"),
+            ("src/sim/cache.cc", 8, "obs-direct-mutation"),
         ]))
 
 

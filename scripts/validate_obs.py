@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""validate_obs — structural validator for --obs-trace documents.
+
+A --obs-trace file must load in chrome://tracing / ui.perfetto.dev,
+so this validator pins the contract the TraceSink promises:
+
+ 1. The file parses as JSON: one object with a "traceEvents" array.
+ 2. Every event is an object with a string "ph" in {X, C, M}, a
+    string "name", and integer "pid"/"tid".
+ 3. 'X' (complete span) events carry non-negative numeric "ts" and
+    "dur"; 'C' (counter) events carry "ts" and an "args" object.
+ 4. Spans nest monotonically per (pid, tid) track: sorted by start
+    time, every span either follows the previous one or is fully
+    contained in a still-open enclosing span (stack discipline —
+    RAII scopes on one thread / one simulated track can produce
+    nothing else; overlap without containment means a track id was
+    shared or a duration was computed wrong).
+ 5. The two process_name metadata records (simulated time pid 1,
+    host time pid 2) exist, so the viewer labels the tracks.
+
+Usage: validate_obs.py TRACE.json [TRACE.json ...]
+Exit status 0 when every file is valid, 1 with a diagnostic line per
+defect otherwise (check.sh runs this fail-fast on a fresh trace).
+"""
+
+import json
+import sys
+
+VALID_PHASES = {"X", "C", "M", "m"}
+
+
+def fail(path, msg):
+    print("%s: %s" % (path, msg))
+    return False
+
+
+def validate_events(path, events):
+    ok = True
+    spans = {}  # (pid, tid) -> [(ts, dur, name, index)]
+    process_names = set()
+    for i, e in enumerate(events):
+        where = "traceEvents[%d]" % i
+        if not isinstance(e, dict):
+            ok = fail(path, "%s: not an object" % where)
+            continue
+        ph = e.get("ph")
+        name = e.get("name")
+        pid = e.get("pid")
+        tid = e.get("tid")
+        if ph not in VALID_PHASES:
+            ok = fail(path, "%s: bad ph %r" % (where, ph))
+            continue
+        if not isinstance(name, str) or not name:
+            ok = fail(path, "%s: bad name %r" % (where, name))
+            continue
+        if not isinstance(pid, int) or not isinstance(tid, int):
+            ok = fail(path, "%s: non-integer pid/tid" % where)
+            continue
+        if ph in ("M", "m"):
+            if name == "process_name":
+                process_names.add(pid)
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            ok = fail(path, "%s: bad ts %r" % (where, ts))
+            continue
+        if ph == "C":
+            if not isinstance(e.get("args"), dict):
+                ok = fail(path, "%s: counter without args" % where)
+            continue
+        dur = e.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            ok = fail(path, "%s: bad dur %r" % (where, dur))
+            continue
+        spans.setdefault((pid, tid), []).append((ts, dur, name, i))
+
+    # Stack-discipline nesting per track: sort by (start, -duration)
+    # so an enclosing span precedes the spans it contains.
+    for (pid, tid), track in sorted(spans.items()):
+        track.sort(key=lambda s: (s[0], -s[1]))
+        stack = []  # (end, name)
+        for ts, dur, name, i in track:
+            end = ts + dur
+            while stack and stack[-1][0] <= ts:
+                stack.pop()
+            if stack and end > stack[-1][0]:
+                ok = fail(
+                    path,
+                    "track (pid %d, tid %d): span '%s' "
+                    "(traceEvents[%d], [%s, %s)) overlaps enclosing "
+                    "span '%s' ending at %s without nesting"
+                    % (pid, tid, name, i, ts, end, stack[-1][1],
+                       stack[-1][0]))
+                continue
+            stack.append((end, name))
+
+    for pid in (1, 2):
+        if pid not in process_names:
+            ok = fail(path,
+                      "missing process_name metadata for pid %d" % pid)
+    return ok
+
+
+def validate_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return fail(path, "unreadable or malformed JSON: %s" % e)
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(path, 'no "traceEvents" array')
+    if not events:
+        return fail(path, '"traceEvents" is empty')
+    return validate_events(path, events)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: validate_obs.py TRACE.json [TRACE.json ...]")
+        return 2
+    ok = True
+    for path in argv[1:]:
+        ok = validate_file(path) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -110,6 +110,8 @@ ResultCache::lookup(uint64_t hash, const std::string &key,
         || !countField(doc, "pf_filled", &summary.pfFilled)
         || !countField(doc, "pf_useful", &summary.pfUseful)
         || !countField(doc, "pf_late", &summary.pfLate)
+        || !countField(doc, "pf_late_load", &summary.pfLateLoad)
+        || !countField(doc, "pf_late_rfo", &summary.pfLateRfo)
         || !countField(doc, "llc_demand_miss", &summary.llcDemandMiss)
         || !countField(doc, "events_dispatched",
                        &summary.eventsDispatched)
@@ -118,6 +120,38 @@ ResultCache::lookup(uint64_t hash, const std::string &key,
                        &summary.cyclesSkipped)) {
         if (why)
             *why = file + ": malformed cell record, recomputing";
+        return false;
+    }
+
+    // Per-scheme attribution (schema v4). An empty array is valid —
+    // baselines have no schemes, and GAZE_OBS=OFF builds record none —
+    // but a missing or malformed member is a defect, hence a miss.
+    const JsonValue *schemes = doc.find("schemes");
+    if (!schemes || !schemes->isArray()) {
+        if (why)
+            *why = file + ": malformed cell record, recomputing";
+        return false;
+    }
+    for (const JsonValue &s : schemes->items()) {
+        if (!s.isObject())
+            break;
+        const JsonValue *name = s.find("name");
+        SchemeCount sc;
+        if (!name || !name->isString()
+            || !countField(s, "issued", &sc.issued)
+            || !countField(s, "filled", &sc.filled)
+            || !countField(s, "useful", &sc.useful)
+            || !countField(s, "late", &sc.late)
+            || !countField(s, "useless", &sc.useless)
+            || !countField(s, "fill_to_use_sum", &sc.fillToUseSum)
+            || !countField(s, "fill_to_use_cnt", &sc.fillToUseCnt))
+            break;
+        sc.name = name->asString();
+        summary.schemes.push_back(std::move(sc));
+    }
+    if (summary.schemes.size() != schemes->items().size()) {
+        if (why)
+            *why = file + ": malformed scheme entry, recomputing";
         return false;
     }
 
@@ -141,12 +175,28 @@ ResultCache::store(uint64_t hash, const CellRecord &rec) const
     j.field("pf_filled", rec.summary.pfFilled);
     j.field("pf_useful", rec.summary.pfUseful);
     j.field("pf_late", rec.summary.pfLate);
+    j.field("pf_late_load", rec.summary.pfLateLoad);
+    j.field("pf_late_rfo", rec.summary.pfLateRfo);
     j.field("llc_demand_miss", rec.summary.llcDemandMiss);
     j.field("events_dispatched", rec.summary.eventsDispatched);
     j.field("cycles_executed", rec.summary.cyclesExecuted);
     j.field("cycles_skipped", rec.summary.cyclesSkipped);
     j.field("minstr_per_sec", rec.summary.minstrPerSec);
     j.field("seconds", rec.seconds);
+    j.key("schemes").beginArray();
+    for (const SchemeCount &s : rec.summary.schemes) {
+        j.beginObject();
+        j.field("name", s.name);
+        j.field("issued", s.issued);
+        j.field("filled", s.filled);
+        j.field("useful", s.useful);
+        j.field("late", s.late);
+        j.field("useless", s.useless);
+        j.field("fill_to_use_sum", s.fillToUseSum);
+        j.field("fill_to_use_cnt", s.fillToUseCnt);
+        j.endObject();
+    }
+    j.endArray();
     j.endObject();
     std::string text = j.str();
     text += '\n';

@@ -10,6 +10,7 @@
 #include "driver/thread_pool.hh"
 #include "harness/runner.hh"
 #include "harness/wallclock.hh"
+#include "obs/trace.hh"
 
 namespace gaze
 {
@@ -108,9 +109,14 @@ runCampaign(const Campaign &campaign, ResultCache &cache,
 
     stats.threadsUsed = resolvePoolThreads(opt.threads, toRun.size());
     if (!toRun.empty()) {
+        // Host-time tracing (--obs-trace): one span for the whole
+        // shard, one per cell job on its worker thread's track.
+        obs::HostSpan shardSpan(obs::globalTrace(), "campaign shard");
         ThreadPool pool(stats.threadsUsed);
         for (const Job *job : toRun) {
             pool.submit([&, job] {
+                obs::HostSpan cellSpan(obs::globalTrace(),
+                                       "cell " + job->label);
                 WallTimer cellTimer;
                 Runner runner(campaign.spec.run);
                 std::vector<WorkloadDef> mix(job->cores,

@@ -251,8 +251,29 @@ buildReport(const Campaign &campaign, const ResultCache &cache,
         j.field("pf_filled", m.pfFilled);
         j.field("pf_useful", m.pfUseful);
         j.field("pf_late", m.pfLate);
+        j.field("pf_late_load", m.pfLateLoad);
+        j.field("pf_late_rfo", m.pfLateRfo);
         j.field("llc_miss_base", m.llcMissBase);
         j.field("llc_miss_pf", m.llcMissPf);
+        // Per-scheme attribution (obs lifecycle tracking; empty on
+        // GAZE_OBS=OFF builds and for records predating schema v4).
+        j.key("schemes").beginArray();
+        for (const SchemeMetrics &s : m.schemes) {
+            j.beginObject();
+            j.field("name", s.name);
+            j.field("issued", s.issued);
+            j.field("filled", s.filled);
+            j.field("useful", s.useful);
+            j.field("late", s.late);
+            j.field("useless", s.useless);
+            j.field("accuracy", s.accuracy);
+            j.field("coverage", s.coverage);
+            j.field("pollution", s.pollution);
+            j.field("late_fraction", s.lateFraction);
+            j.field("avg_fill_to_use", s.avgFillToUse);
+            j.endObject();
+        }
+        j.endArray();
         j.field("cell", cellHashHex(cell.hash));
         j.field("baseline", cellHashHex(cell.baselineHash));
         j.endObject();

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "common/log.hh"
 #include "driver/cli.hh"
 #include "harness/export.hh"
+#include "obs/trace.hh"
 #include "prefetchers/registry.hh"
 
 namespace
@@ -71,6 +73,14 @@ cmdRun(const GazeCampaignOptions &opt)
     Campaign campaign = loadCampaign(opt.specPath);
     ResultCache cache(opt.cacheDir);
 
+    // --obs-trace: host-time spans of the run (cell jobs, shard,
+    // baseline waits) via the process-global hook the engine checks.
+    std::unique_ptr<obs::TraceSink> traceSink;
+    if (!opt.obsTracePath.empty()) {
+        traceSink = std::make_unique<obs::TraceSink>();
+        obs::setGlobalTrace(traceSink.get());
+    }
+
     CampaignRunOptions run_opt;
     run_opt.shardIndex = opt.shardIndex;
     run_opt.shardCount = opt.shardCount;
@@ -84,6 +94,11 @@ cmdRun(const GazeCampaignOptions &opt)
                 opt.shardCount > 1 ? ", sharded" : "");
 
     CampaignRunStats stats = runCampaign(campaign, cache, run_opt);
+    if (traceSink) {
+        obs::setGlobalTrace(nullptr);
+        traceSink->writeTo(opt.obsTracePath);
+        std::printf("obs trace: %s\n", opt.obsTracePath.c_str());
+    }
     std::printf("executed %llu simulation(s), %llu cache hit(s)"
                 ", %llu left to other shards (%.1fs on %u thread(s))\n",
                 static_cast<unsigned long long>(stats.executed),

@@ -40,8 +40,19 @@ const char *gazeSimUsageText =
     "                         run on a worker team, bit-identical to\n"
     "                         --sim-threads=1 (default: 1)\n"
     "  --engine-stats         print per-cell simulation speed\n"
-    "                         (Minstr/s, skipped cycles, events) after\n"
-    "                         the matrix; the JSON always carries them\n"
+    "                         (Minstr/s, skipped cycles, events, late\n"
+    "                         prefetches) after the matrix; the JSON\n"
+    "                         always carries them\n"
+    "  --obs-timeline=FILE    write a per-interval counter CSV (one\n"
+    "                         row per cell per epoch boundary; columns\n"
+    "                         are the obs registry, name-sorted)\n"
+    "  --obs-trace=FILE       write a Chrome-trace JSON (open in\n"
+    "                         chrome://tracing or ui.perfetto.dev):\n"
+    "                         engine stints/flips and per-core spans\n"
+    "                         in simulated time, cells and baseline\n"
+    "                         waits in host time\n"
+    "  --obs-interval=N       sampler epoch in cycles for\n"
+    "                         --obs-timeline (default: 4096)\n"
     "  --warmup=N             warmup instructions per core\n"
     "  --sim=N                measured instructions per core\n"
     "  --name=ID              experiment id (default: gaze_sim)\n"
@@ -112,6 +123,8 @@ const char *gazeCampaignUsageText =
     "  --csv=FILE         also write the per-suite CSV here\n"
     "  --compare=FILE     previous report JSON; appends a \"compare\"\n"
     "                     section with per-suite speedup deltas\n"
+    "  --obs-trace=FILE   run: write a Chrome-trace JSON of host-time\n"
+    "                     spans (cell jobs, shard, baseline waits)\n"
     "  --quiet            no per-cell progress on stderr\n"
     "  --help             this text\n"
     "\n"
@@ -268,6 +281,18 @@ parseGazeSimArgs(const std::vector<std::string> &args)
                 static_cast<uint32_t>(parseCount(key, val, 64));
         } else if (key == "--engine-stats") {
             opt.engineStats = true;
+        } else if (key == "--obs-timeline") {
+            if (val.empty())
+                GAZE_FATAL("--obs-timeline needs a file path");
+            opt.spec.obsTimelinePath = val;
+        } else if (key == "--obs-trace") {
+            if (val.empty())
+                GAZE_FATAL("--obs-trace needs a file path");
+            opt.spec.obsTracePath = val;
+        } else if (key == "--obs-interval") {
+            opt.spec.obsInterval = parseCount(key, val);
+            if (opt.spec.obsInterval == 0)
+                GAZE_FATAL("--obs-interval must be >= 1");
         } else if (key == "--warmup") {
             opt.spec.run.warmupInstr = parseCount(key, val);
         } else if (key == "--sim") {
@@ -449,6 +474,10 @@ parseGazeCampaignArgs(const std::vector<std::string> &args)
             if (val.empty())
                 GAZE_FATAL("--compare needs a report file");
             opt.comparePath = val;
+        } else if (key == "--obs-trace") {
+            if (val.empty())
+                GAZE_FATAL("--obs-trace needs a file path");
+            opt.obsTracePath = val;
         } else if (key == "--quiet") {
             opt.quiet = true;
         } else {
@@ -462,6 +491,9 @@ parseGazeCampaignArgs(const std::vector<std::string> &args)
     if (opt.shardCount > 1
         && opt.command != GazeCampaignOptions::Command::Run)
         GAZE_FATAL("--shard only applies to gaze_campaign run");
+    if (!opt.obsTracePath.empty()
+        && opt.command != GazeCampaignOptions::Command::Run)
+        GAZE_FATAL("--obs-trace only applies to gaze_campaign run");
     return opt;
 }
 

@@ -104,6 +104,7 @@ struct GazeCampaignOptions
     std::string outPath;                   ///< --out (report JSON)
     std::string csvPath;                   ///< --csv (suite CSV)
     std::string comparePath;               ///< --compare (old report)
+    std::string obsTracePath;              ///< run: --obs-trace
     bool quiet = false;                    ///< --quiet
     bool jsonOutput = false;               ///< describe: --json
 };

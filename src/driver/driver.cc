@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <thread>
 
 #include "common/log.hh"
 #include "driver/thread_pool.hh"
+#include "obs/trace.hh"
 #include "prefetchers/registry.hh"
 #include "harness/export.hh"
 #include "harness/wallclock.hh"
@@ -18,6 +20,71 @@ namespace gaze
 {
 namespace
 {
+
+/**
+ * Combined --obs-timeline document: every cell's sampler rows, each
+ * prefixed with the (prefetcher, workload) cell identity so one CSV
+ * holds the whole matrix. Deterministic: cells in matrix order,
+ * columns in registry (name-sorted) order.
+ */
+std::string
+timelineCsv(const MatrixSpec &spec,
+            const std::vector<RunResult> &baselines,
+            const std::vector<RunResult> &runs)
+{
+    const obs::SampleSeries *first = nullptr;
+    for (const auto &r : baselines)
+        if (!first && !r.obsSamples.names.empty())
+            first = &r.obsSamples;
+    for (const auto &r : runs)
+        if (!first && !r.obsSamples.names.empty())
+            first = &r.obsSamples;
+
+    std::string csv = "prefetcher,workload,cycle";
+    if (first)
+        for (const auto &n : first->names) {
+            csv += ',';
+            csv += n;
+        }
+    csv += '\n';
+
+    auto append = [&](const std::string &pf, const std::string &w,
+                      const obs::SampleSeries &s) {
+        for (const auto &row : s.rows) {
+            csv += pf;
+            csv += ',';
+            csv += w;
+            csv += ',';
+            csv += std::to_string(row.cycle);
+            for (uint64_t v : row.values) {
+                csv += ',';
+                csv += std::to_string(v);
+            }
+            csv += '\n';
+        }
+    };
+    const size_t nw = spec.workloads.size();
+    for (size_t wi = 0; wi < nw; ++wi)
+        append("none", spec.workloads[wi].name,
+               baselines[wi].obsSamples);
+    for (size_t pi = 0; pi < spec.prefetchers.size(); ++pi)
+        for (size_t wi = 0; wi < nw; ++wi)
+            append(spec.prefetchers[pi], spec.workloads[wi].name,
+                   runs[pi * nw + wi].obsSamples);
+    return csv;
+}
+
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        GAZE_FATAL("cannot create '", path, "'");
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    out.close();
+    if (!out)
+        GAZE_FATAL("write failed on '", path, "'");
+}
 
 } // namespace
 
@@ -65,13 +132,30 @@ runMatrix(const MatrixSpec &spec)
     // these Runners (campaign engine, evaluate paths) deduplicates
     // against them instead of re-simulating.
     auto sharedBaselines = std::make_shared<BaselineCache>();
+
+    // Observability: the matrix owns the trace sink; every cell's
+    // Runner gets the same ObsConfig (excluded from cell identity).
+    std::unique_ptr<obs::TraceSink> traceSink;
+    if (!spec.obsTracePath.empty()) {
+        traceSink = std::make_unique<obs::TraceSink>();
+        obs::setGlobalTrace(traceSink.get());
+    }
+    RunConfig cellRun = spec.run;
+    cellRun.obs.trace = traceSink.get();
+    cellRun.obs.samplerInterval =
+        spec.obsTimelinePath.empty() ? 0 : spec.obsInterval;
+
     std::atomic<uint64_t> totalInstr{0}, totalEvents{0};
     std::atomic<uint64_t> totalExecuted{0}, totalSkipped{0};
     std::atomic<uint64_t> totalFlips{0};
     auto runCell = [&](const WorkloadDef &w, const PfSpec &pf,
                        RunResult *out, double *secs) {
+        obs::HostSpan cellSpan(
+            obs::globalTrace(),
+            "cell " + (pf.isNone() ? "baseline" : pf.label()) + " x "
+                + w.name);
         WallTimer cellTimer;
-        Runner runner(spec.run, sharedBaselines);
+        Runner runner(cellRun, sharedBaselines);
         std::vector<WorkloadDef> mix(spec.cores, w);
         *out = pf.isNone() ? runner.baselineMix(mix)
                            : runner.runMix(mix, pf);
@@ -113,6 +197,16 @@ runMatrix(const MatrixSpec &spec)
         }
         pool.wait();
     }
+
+    // Publish the obs artifacts before results are picked apart; the
+    // global host-span hook must come down before the sink dies.
+    if (traceSink)
+        obs::setGlobalTrace(nullptr);
+    if (!spec.obsTimelinePath.empty())
+        writeTextFile(spec.obsTimelinePath,
+                      timelineCsv(spec, baselines, runs));
+    if (traceSink)
+        traceSink->writeTo(spec.obsTracePath);
 
     result.cells.reserve(np * nw);
     for (size_t pi = 0; pi < np; ++pi) {
@@ -236,8 +330,28 @@ matrixToJson(const MatrixSpec &spec, const MatrixResult &result)
         j.field("pf_filled", c.metrics.pfFilled);
         j.field("pf_useful", c.metrics.pfUseful);
         j.field("pf_late", c.metrics.pfLate);
+        j.field("pf_late_load", c.metrics.pfLateLoad);
+        j.field("pf_late_rfo", c.metrics.pfLateRfo);
         j.field("llc_miss_base", c.metrics.llcMissBase);
         j.field("llc_miss_pf", c.metrics.llcMissPf);
+        // Per-scheme lifecycle attribution (empty when GAZE_OBS=OFF).
+        j.key("schemes").beginArray();
+        for (const SchemeMetrics &s : c.metrics.schemes) {
+            j.beginObject();
+            j.field("name", s.name);
+            j.field("issued", s.issued);
+            j.field("filled", s.filled);
+            j.field("useful", s.useful);
+            j.field("late", s.late);
+            j.field("useless", s.useless);
+            j.field("accuracy", s.accuracy);
+            j.field("coverage", s.coverage);
+            j.field("pollution", s.pollution);
+            j.field("late_fraction", s.lateFraction);
+            j.field("avg_fill_to_use", s.avgFillToUse);
+            j.endObject();
+        }
+        j.endArray();
         j.field("seconds", c.seconds);
         j.field("events_dispatched", c.eventsDispatched);
         j.field("cycles_executed", c.cyclesExecuted);
@@ -289,7 +403,7 @@ std::string
 matrixEngineTable(const MatrixResult &result)
 {
     TextTable t({"prefetcher", "workload", "minstr/s", "skipped",
-                 "events"});
+                 "events", "late"});
     for (const auto &c : result.cells) {
         uint64_t cycles = c.cyclesExecuted + c.cyclesSkipped;
         double skip =
@@ -297,7 +411,8 @@ matrixEngineTable(const MatrixResult &result)
         t.addRow({c.prefetcher, c.workload,
                   TextTable::fmt(c.minstrPerSec),
                   TextTable::pct(skip),
-                  std::to_string(c.eventsDispatched)});
+                  std::to_string(c.eventsDispatched),
+                  std::to_string(c.metrics.pfLate)});
     }
     std::string out = t.toString();
 
@@ -316,6 +431,34 @@ matrixEngineTable(const MatrixResult &result)
                   100.0 * skip);
     out += line;
     return out;
+}
+
+std::string
+matrixSchemeTable(const MatrixResult &result)
+{
+    bool any = false;
+    for (const auto &c : result.cells)
+        any = any || !c.metrics.schemes.empty();
+    if (!any)
+        return "";
+
+    TextTable t({"prefetcher", "workload", "scheme", "issued",
+                 "filled", "useful", "late", "useless", "accuracy",
+                 "pollution", "fill2use"});
+    for (const auto &c : result.cells) {
+        for (const SchemeMetrics &s : c.metrics.schemes) {
+            t.addRow({c.prefetcher, c.workload, s.name,
+                      std::to_string(s.issued),
+                      std::to_string(s.filled),
+                      std::to_string(s.useful),
+                      std::to_string(s.late),
+                      std::to_string(s.useless),
+                      TextTable::pct(s.accuracy),
+                      TextTable::pct(s.pollution),
+                      TextTable::fmt(s.avgFillToUse)});
+        }
+    }
+    return t.toString();
 }
 
 std::string

@@ -56,6 +56,20 @@ struct MatrixSpec
 
     /** Per-cell progress lines on stderr. */
     bool verbose = false;
+
+    // ---- Observability ---------------------------------------------
+    // Obs never perturbs simulated state (obs-on runs are bitwise
+    // identical to obs-off), so these knobs change only what gets
+    // written next to the results, never the results themselves.
+
+    /** Combined interval-sampler CSV path (--obs-timeline; "" = off). */
+    std::string obsTimelinePath;
+
+    /** Chrome-trace JSON path (--obs-trace; "" = off). */
+    std::string obsTracePath;
+
+    /** Sampler epoch in cycles (with --obs-timeline). */
+    uint64_t obsInterval = 4096;
 };
 
 /** One (prefetcher, workload) cell of a finished matrix. */
@@ -129,9 +143,17 @@ std::string matrixToTable(const MatrixResult &result);
 
 /**
  * Render per-cell simulation-speed stats (Minstr/s, skipped-cycle
- * fraction, events) plus the matrix aggregate: gaze_sim
- * --engine-stats output.
+ * fraction, events, late prefetches) plus the matrix aggregate:
+ * gaze_sim --engine-stats output.
  */
 std::string matrixEngineTable(const MatrixResult &result);
+
+/**
+ * Render the per-scheme lifecycle breakdown (obs attribution): one
+ * row per (prefetcher, workload, scheme) with accuracy / pollution /
+ * timeliness. Empty string when no cell carries scheme data
+ * (GAZE_OBS=OFF builds), so callers can print it unconditionally.
+ */
+std::string matrixSchemeTable(const MatrixResult &result);
 
 } // namespace gaze

@@ -72,12 +72,20 @@ main(int argc, char **argv)
     MatrixResult result = runMatrix(spec);
 
     std::printf("\n%s\n", matrixToTable(result).c_str());
+    std::string schemeTable = matrixSchemeTable(result);
+    if (!schemeTable.empty())
+        std::printf("per-scheme attribution:\n%s\n",
+                    schemeTable.c_str());
     if (opt.engineStats)
         std::printf("\n%s\n", matrixEngineTable(result).c_str());
     std::printf("total: %zu cells in %.1fs on %u thread(s), "
                 "%.2f Minstr/s\n",
                 result.cells.size(), result.seconds,
                 result.threadsUsed, result.minstrPerSec());
+    if (!spec.obsTimelinePath.empty())
+        std::printf("obs timeline: %s\n", spec.obsTimelinePath.c_str());
+    if (!spec.obsTracePath.empty())
+        std::printf("obs trace: %s\n", spec.obsTracePath.c_str());
 
     JsonExport doc(spec.name, matrixToJson(spec, result));
     std::string path =

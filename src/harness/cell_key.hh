@@ -38,8 +38,16 @@ namespace gaze
  * v3: cell records gained the engine-speed slice of RunSummary
  * (events_dispatched, cycles_executed, cycles_skipped,
  * minstr_per_sec); v2 records lack the fields and must recompute.
+ *
+ * v4: cell records gained the late-miss split (pf_late_load,
+ * pf_late_rfo) and the per-scheme lifecycle attribution ("schemes"
+ * array); v3 records lack the fields and must recompute. Note that
+ * obs *settings* (ObsConfig: sampler interval, trace sink) are
+ * deliberately NOT part of the canonical text — obs never perturbs
+ * simulated state, so a cell computed with tracing on is the same
+ * cell computed with it off.
  */
-constexpr uint32_t kCellSchemaVersion = 3;
+constexpr uint32_t kCellSchemaVersion = 4;
 
 /**
  * The canonical, human-auditable identity text of one cell. Covers

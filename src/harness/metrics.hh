@@ -16,14 +16,34 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "obs/sampler.hh"
 #include "sim/cache.hh"
 #include "sim/dram.hh"
 #include "sim/system.hh"
 
 namespace gaze
 {
+
+/**
+ * Obs attribution: lifecycle counts of one prefetching scheme, summed
+ * over L1D + L2 across cores — the same levels the aggregate pf
+ * counters (and §IV-A3 accuracy) are summed over. The scheme label is
+ * System::schemeNames() form: "<scheme>@l1" / "<scheme>@l2".
+ */
+struct SchemeCount
+{
+    std::string name;
+    uint64_t issued = 0;
+    uint64_t filled = 0;
+    uint64_t useful = 0;
+    uint64_t late = 0;
+    uint64_t useless = 0;
+    uint64_t fillToUseSum = 0;
+    uint64_t fillToUseCnt = 0;
+};
 
 /** Aggregated outcome of one simulation run. */
 struct RunResult
@@ -34,6 +54,12 @@ struct RunResult
     CacheStats l2;   ///< summed over cores
     CacheStats llc;
     DramStats dram;
+
+    /** Per-scheme lifecycle attribution (id order; empty w/o obs). */
+    std::vector<SchemeCount> schemes;
+
+    /** --obs-timeline samples (empty unless a sampler was attached). */
+    obs::SampleSeries obsSamples;
 
     /** Simulation-speed counters (whole run: warmup + measured). */
     EngineStats engine;
@@ -60,6 +86,31 @@ struct RunResult
     }
 };
 
+/**
+ * Derived per-scheme metrics (obs attribution): the accuracy /
+ * coverage / timeliness / pollution breakdown of one issuing scheme.
+ */
+struct SchemeMetrics
+{
+    std::string name;
+    uint64_t issued = 0;
+    uint64_t filled = 0;
+    uint64_t useful = 0;
+    uint64_t late = 0;
+    uint64_t useless = 0;
+
+    /** (useful + late) / (filled + late), as the aggregate metric. */
+    double accuracy = 0.0;
+    /** useful / baseline LLC demand misses (capped at 1). */
+    double coverage = 0.0;
+    /** useless / filled: fills evicted untouched. */
+    double pollution = 0.0;
+    /** late / (useful + late): timeliness, lower is better. */
+    double lateFraction = 0.0;
+    /** Mean fill-to-first-demand-hit latency in cycles. */
+    double avgFillToUse = 0.0;
+};
+
 /** Derived prefetching metrics for a (baseline, prefetch) run pair. */
 struct PrefetchMetrics
 {
@@ -72,8 +123,14 @@ struct PrefetchMetrics
     uint64_t pfFilled = 0;
     uint64_t pfUseful = 0;
     uint64_t pfLate = 0;
+    /** pfLate split by demand type (satellite of the late-miss stat). */
+    uint64_t pfLateLoad = 0;
+    uint64_t pfLateRfo = 0;
     uint64_t llcMissBase = 0;
     uint64_t llcMissPf = 0;
+
+    /** Per-scheme breakdown, in scheme-id order (empty w/o obs). */
+    std::vector<SchemeMetrics> schemes;
 };
 
 /**
@@ -89,7 +146,13 @@ struct RunSummary
     uint64_t pfFilled = 0;
     uint64_t pfUseful = 0;
     uint64_t pfLate = 0;
+    /** pfLate split by demand type (loadMissLate/rfoMissLate sums). */
+    uint64_t pfLateLoad = 0;
+    uint64_t pfLateRfo = 0;
     uint64_t llcDemandMiss = 0;
+
+    /** Per-scheme lifecycle attribution (cell-record schema v4). */
+    std::vector<SchemeCount> schemes;
 
     // Engine-speed slice. The cycle/event counters are deterministic
     // (the engine is bit-exact), so cached cells reproduce them;

@@ -4,6 +4,10 @@
 
 #include "common/log.hh"
 #include "harness/cell_key.hh"
+#include "obs/obs.hh"
+#include "obs/registry.hh"
+#include "obs/sampler.hh"
+#include "obs/trace.hh"
 #include "prefetchers/factory.hh"
 #include "prefetchers/registry.hh"
 
@@ -49,13 +53,19 @@ BaselineCache::getOrCompute(const std::string &key,
         }
     }
     // Compute outside the lock so unrelated keys proceed in parallel;
-    // only waiters of this key block, on the future.
+    // only waiters of this key block, on the future. Both sides show
+    // up on the host-time trace track: computing a baseline is real
+    // work, waiting on one is contention worth seeing.
     if (owner) {
+        obs::HostSpan span(obs::globalTrace(), "baseline compute");
         try {
             prom.set_value(compute());
         } catch (...) {
             prom.set_exception(std::current_exception());
         }
+    } else {
+        obs::HostSpan span(obs::globalTrace(), "baseline wait");
+        fut.wait();
     }
     return fut.get();
 }
@@ -106,12 +116,46 @@ Runner::execute(const std::vector<WorkloadDef> &mix, const PfSpec &pf)
         sys.setL2Prefetcher(c, makePrefetcher(pf.l2));
     }
 
+    // Observability attachments. The registry binds pointers at live
+    // counter fields (zero hot-path indirection); the sampler only
+    // joins after warmup + resetStats so its rows cover measured time.
+    // When GAZE_OBS is compiled out the engine hooks are no-ops, so
+    // none of this is wired up (GAZE_OBS_ON is a compile-time 0).
+    obs::Registry registry;
+    std::unique_ptr<obs::IntervalSampler> sampler;
+    const bool obsOn = GAZE_OBS_ON && cfg.obs.enabled();
+    std::string obsLabel;
+    if (obsOn) {
+        std::string wl;
+        for (const auto &w : mix)
+            wl += (wl.empty() ? "" : "+") + w.name;
+        obsLabel = pf.label() + "/" + wl;
+        if (cfg.obs.samplerInterval) {
+            sys.bindObsCounters(&registry);
+            registry.seal();
+            sampler = std::make_unique<obs::IntervalSampler>(
+                &registry, cfg.obs.samplerInterval);
+        }
+        if (cfg.obs.trace)
+            sys.setObsTrace(cfg.obs.trace, obsLabel);
+    }
+
     WallTimer timer;
     sys.run(cfg.effectiveWarmup());
     sys.resetStats();
+    if (sampler) {
+        sampler->startAt(sys.cycle());
+        sys.setObsSampler(sampler.get());
+    }
     auto cores = sys.simulate(cfg.effectiveSim());
+    if (sampler) {
+        sampler->finish(sys.cycle());
+        sys.setObsSampler(nullptr);
+    }
     RunResult result = collectResult(sys, std::move(cores));
     result.wallSeconds = timer.seconds();
+    if (sampler)
+        result.obsSamples = sampler->takeSeries();
     return result;
 }
 

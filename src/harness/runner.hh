@@ -23,6 +23,29 @@
 namespace gaze
 {
 
+namespace obs
+{
+class TraceSink;
+}
+
+/**
+ * Observability attachments for a run. Deliberately NOT part of the
+ * canonical cell text (harness/cell_key): obs never perturbs simulated
+ * state — obs-on runs are bitwise identical to obs-off runs
+ * (test_engine_diff proves it) — so cached campaign cells stay valid
+ * whatever the obs settings are.
+ */
+struct ObsConfig
+{
+    /** Interval-sampler epoch in cycles; 0 disables the timeline. */
+    uint64_t samplerInterval = 0;
+
+    /** Trace sink for sim-time spans (not owned; null = no tracing). */
+    obs::TraceSink *trace = nullptr;
+
+    bool enabled() const { return samplerInterval != 0 || trace; }
+};
+
 /** One experiment's fixed context: system config + phase lengths. */
 struct RunConfig
 {
@@ -33,6 +56,9 @@ struct RunConfig
 
     /** Measured instructions per core (0 = derive from scale). */
     uint64_t simInstr = 0;
+
+    /** Observability hooks (excluded from the cell key; see above). */
+    ObsConfig obs;
 
     uint64_t effectiveWarmup() const;
     uint64_t effectiveSim() const;

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Observability master switch. The obs subsystem (prefetch lifecycle
+ * attribution, the stats registry + interval sampler, and the Chrome
+ * trace exporter) instruments simulator hot paths; every such hook is
+ * wrapped in GAZE_OBS_HOOK so a -DGAZE_OBS=OFF build compiles them
+ * out entirely and pays nothing.
+ *
+ * Obs is observation only, never perturbation: with the hooks
+ * compiled in, all architectural metrics are bitwise identical
+ * whether obs outputs are requested or not, across every engine and
+ * thread count (test_engine_diff asserts this). Hooks therefore must
+ * only read simulator state or bump obs-private counters — never
+ * schedule work, touch queues, or force wake-ups.
+ */
+
+#pragma once
+
+#ifdef GAZE_OBS_ENABLED
+#define GAZE_OBS_ON 1
+#else
+#define GAZE_OBS_ON 0
+#endif
+
+#if GAZE_OBS_ON
+/** Emit @p ... only when observability is compiled in. */
+#define GAZE_OBS_HOOK(...)                                                 \
+    do {                                                                   \
+        __VA_ARGS__                                                        \
+    } while (0)
+#else
+#define GAZE_OBS_HOOK(...)                                                 \
+    do {                                                                   \
+    } while (0)
+#endif

@@ -1,0 +1,77 @@
+#include "obs/registry.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "harness/export.hh"
+
+namespace gaze
+{
+namespace obs
+{
+
+void
+Registry::bindCounter(const std::string &name, const uint64_t *counter)
+{
+    GAZE_ASSERT(!isSealed, "obs registry sealed; cannot bind '", name, "'");
+    GAZE_ASSERT(counter, "obs registry: null counter for '", name, "'");
+    entries.push_back(Entry{name, counter, {}});
+}
+
+void
+Registry::bindGauge(const std::string &name, std::function<uint64_t()> fn)
+{
+    GAZE_ASSERT(!isSealed, "obs registry sealed; cannot bind '", name, "'");
+    GAZE_ASSERT(fn, "obs registry: empty gauge for '", name, "'");
+    entries.push_back(Entry{name, nullptr, std::move(fn)});
+}
+
+void
+Registry::seal()
+{
+    GAZE_ASSERT(!isSealed, "obs registry sealed twice");
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) { return a.name < b.name; });
+    for (size_t i = 1; i < entries.size(); ++i)
+        GAZE_ASSERT(entries[i - 1].name != entries[i].name,
+                    "obs registry: duplicate counter name '",
+                    entries[i].name, "'");
+    isSealed = true;
+}
+
+const std::string &
+Registry::nameAt(size_t i) const
+{
+    GAZE_ASSERT(isSealed, "obs registry read before seal()");
+    return entries.at(i).name;
+}
+
+uint64_t
+Registry::valueAt(size_t i) const
+{
+    GAZE_ASSERT(isSealed, "obs registry read before seal()");
+    const Entry &e = entries.at(i);
+    return e.counter ? *e.counter : e.gauge();
+}
+
+std::vector<uint64_t>
+Registry::snapshot() const
+{
+    std::vector<uint64_t> values(entries.size());
+    for (size_t i = 0; i < entries.size(); ++i)
+        values[i] = valueAt(i);
+    return values;
+}
+
+void
+Registry::exportJson(JsonWriter &j) const
+{
+    GAZE_ASSERT(isSealed, "obs registry exported before seal()");
+    j.beginObject();
+    for (size_t i = 0; i < entries.size(); ++i)
+        j.field(entries[i].name, valueAt(i));
+    j.endObject();
+}
+
+} // namespace obs
+} // namespace gaze

@@ -1,0 +1,73 @@
+#include "obs/sampler.hh"
+
+#include "common/log.hh"
+#include "harness/export.hh"
+
+namespace gaze
+{
+namespace obs
+{
+
+std::string
+SampleSeries::toCsv() const
+{
+    std::string text = "cycle";
+    for (const auto &n : names) {
+        text += ',';
+        text += n;
+    }
+    text += '\n';
+    for (const auto &row : rows) {
+        text += std::to_string(row.cycle);
+        for (uint64_t v : row.values) {
+            text += ',';
+            text += std::to_string(v);
+        }
+        text += '\n';
+    }
+    return text;
+}
+
+void
+SampleSeries::exportJson(JsonWriter &j) const
+{
+    j.beginObject();
+    j.field("interval", interval);
+    j.key("counters").beginArray();
+    for (const auto &n : names)
+        j.value(n);
+    j.endArray();
+    j.key("samples").beginArray();
+    for (const auto &row : rows) {
+        j.beginArray();
+        j.value(uint64_t(row.cycle));
+        for (uint64_t v : row.values)
+            j.value(v);
+        j.endArray();
+    }
+    j.endArray();
+    j.endObject();
+}
+
+IntervalSampler::IntervalSampler(const Registry *registry,
+                                 uint64_t interval_)
+    : reg(registry), interval(interval_), nextBoundary(interval_)
+{
+    GAZE_ASSERT(reg && reg->sealed(),
+                "interval sampler needs a sealed registry");
+    GAZE_ASSERT(interval > 0, "interval sampler needs interval > 0");
+    out.interval = interval;
+    out.names.reserve(reg->size());
+    for (size_t i = 0; i < reg->size(); ++i)
+        out.names.push_back(reg->nameAt(i));
+}
+
+void
+IntervalSampler::emitBoundary()
+{
+    out.rows.push_back(Sample{nextBoundary, reg->snapshot()});
+    nextBoundary += interval;
+}
+
+} // namespace obs
+} // namespace gaze

@@ -1,0 +1,160 @@
+#include "obs/trace.hh"
+
+#include <fstream>
+
+#include "common/log.hh"
+#include "harness/export.hh"
+
+namespace gaze
+{
+namespace obs
+{
+
+namespace
+{
+
+TraceSink *globalSink = nullptr;
+
+} // namespace
+
+TraceSink *
+globalTrace()
+{
+    return globalSink;
+}
+
+void
+setGlobalTrace(TraceSink *sink)
+{
+    globalSink = sink;
+}
+
+TraceSink::TraceSink() : start(wallNow())
+{
+    // Name the two time-domain "processes" up front so the viewer
+    // labels them even for traces with a single span.
+    events.push_back(Event{'M', kPidSim, 0, 0, 0, 0.0,
+                           "simulated time (1us = 1 cycle)"});
+    events.push_back(Event{'M', kPidHost, 0, 0, 0, 0.0, "host time"});
+}
+
+uint32_t
+TraceSink::allocTrack(uint32_t pid, const std::string &label)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    uint32_t tid = nextTid++;
+    events.push_back(Event{'m', pid, tid, 0, 0, 0.0, label});
+    return tid;
+}
+
+uint32_t
+TraceSink::hostThreadTrack()
+{
+    // One track per (sink, OS thread): RAII HostSpans on one thread
+    // are strictly nested, which is the per-(pid,tid) stack
+    // discipline validate_obs.py checks.
+    struct Cached
+    {
+        const TraceSink *sink = nullptr;
+        uint32_t tid = 0;
+    };
+    static thread_local Cached cached;
+    if (cached.sink != this) {
+        cached.sink = this;
+        cached.tid = allocTrack(kPidHost, "host worker");
+    }
+    return cached.tid;
+}
+
+void
+TraceSink::span(uint32_t pid, uint32_t tid, const std::string &name,
+                uint64_t ts, uint64_t dur)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    events.push_back(Event{'X', pid, tid, ts, dur, 0.0, name});
+}
+
+void
+TraceSink::counter(uint32_t pid, uint32_t tid, const std::string &name,
+                   uint64_t ts, double value)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    events.push_back(Event{'C', pid, tid, ts, 0, value, name});
+}
+
+uint64_t
+TraceSink::hostNowUs() const
+{
+    return static_cast<uint64_t>(wallSecondsSince(start) * 1e6);
+}
+
+size_t
+TraceSink::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return events.size();
+}
+
+std::string
+TraceSink::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    JsonWriter j;
+    j.beginObject();
+    j.key("traceEvents").beginArray();
+    for (const Event &e : events) {
+        j.beginObject();
+        switch (e.phase) {
+          case 'M': // process_name metadata
+          case 'm': // thread_name metadata
+            j.field("ph", "M");
+            j.field("name", e.phase == 'M' ? "process_name"
+                                           : "thread_name");
+            j.field("pid", uint64_t(e.pid));
+            j.field("tid", uint64_t(e.tid));
+            j.key("args").beginObject().field("name", e.name).endObject();
+            break;
+          case 'X':
+            j.field("ph", "X");
+            j.field("name", e.name);
+            j.field("pid", uint64_t(e.pid));
+            j.field("tid", uint64_t(e.tid));
+            j.field("ts", e.ts);
+            j.field("dur", e.dur);
+            break;
+          case 'C':
+            j.field("ph", "C");
+            j.field("name", e.name);
+            j.field("pid", uint64_t(e.pid));
+            j.field("tid", uint64_t(e.tid));
+            j.field("ts", e.ts);
+            j.key("args").beginObject().field("value", e.value)
+                .endObject();
+            break;
+          default:
+            GAZE_PANIC("unknown trace event phase");
+        }
+        j.endObject();
+    }
+    j.endArray();
+    j.field("displayTimeUnit", "ms");
+    j.endObject();
+    return j.str();
+}
+
+void
+TraceSink::writeTo(const std::string &path) const
+{
+    std::string text = toJson();
+    text += '\n';
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        GAZE_FATAL("cannot create obs trace file '", path, "'");
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    out.close();
+    if (!out)
+        GAZE_FATAL("write failed on obs trace file '", path, "'");
+}
+
+} // namespace obs
+} // namespace gaze

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/obs.hh"
 #include "sim/vmem.hh"
 
 namespace gaze
@@ -135,6 +136,7 @@ Cache::issuePrefetch(Addr addr, uint32_t fill_level, bool virt,
     r.cpu = cpu;
     r.fillLevel = fill_level;
     r.pfOrigin = cfg.level;
+    r.pfScheme = pf ? pf->schemeId() : 0;
     r.issueCycle = now();
     if (virt) {
         GAZE_ASSERT(vmem, "virtual prefetch needs vmem at ", cfg.name);
@@ -160,6 +162,7 @@ Cache::issuePrefetch(Addr addr, uint32_t fill_level, bool virt,
     }
     prefetchQ.push_back(r);
     ++stat.pfIssued;
+    GAZE_OBS_HOOK(if (r.pfScheme) ++schemeSlot(r.pfScheme).issued;);
     return true;
 }
 
@@ -214,8 +217,14 @@ Cache::missToMshr(Request &req)
     if (it != mshr.end()) {
         MshrEntry &e = it->second;
         if (req.isDemand()) {
-            if (e.wasPrefetchOnly && !e.demanded)
+            if (e.wasPrefetchOnly && !e.demanded) {
                 ++stat.pfLate;
+                (req.type == AccessType::Load ? stat.loadMissLate
+                                              : stat.rfoMissLate)++;
+                GAZE_OBS_HOOK(
+                    if (e.downstream.pfScheme)
+                        ++schemeSlot(e.downstream.pfScheme).late;);
+            }
             e.demanded = true;
             // A demand upgrade pulls the fill all the way in.
             e.downstream.fillLevel =
@@ -259,6 +268,12 @@ Cache::handleRead(Request &req)
         repl->onHit(set, way);
         if (b->prefetch) {
             ++stat.pfUseful;
+            GAZE_OBS_HOOK(if (b->pfScheme) {
+                SchemeStats &ss = schemeSlot(b->pfScheme);
+                ++ss.useful;
+                ss.fillToUseSum += now() - b->fillCycle;
+                ++ss.fillToUseCnt;
+            });
             b->prefetch = false;
         }
         if (req.type == AccessType::Rfo)
@@ -424,8 +439,11 @@ Cache::fillBlock(const Request &req, bool mark_prefetch)
     Addr evicted = 0;
     if (b.valid) {
         evicted = b.paddr;
-        if (b.prefetch)
+        if (b.prefetch) {
             ++stat.pfUseless;
+            GAZE_OBS_HOOK(
+                if (b.pfScheme) ++schemeSlot(b.pfScheme).useless;);
+        }
         if (b.dirty) {
             Request wb;
             wb.type = AccessType::Writeback;
@@ -446,12 +464,17 @@ Cache::fillBlock(const Request &req, bool mark_prefetch)
     b.dirty = req.type == AccessType::Writeback ||
               (req.type == AccessType::Rfo && cfg.level == req.fillLevel);
     b.prefetch = mark_prefetch;
+    b.pfScheme = mark_prefetch ? req.pfScheme : 0;
+    b.fillCycle = now();
     b.paddr = req.paddr;
     b.vaddr = req.vaddr ? blockAlign(req.vaddr) : 0;
     repl->onFill(set, way, mark_prefetch);
 
-    if (mark_prefetch)
+    if (mark_prefetch) {
         ++stat.pfFilled;
+        GAZE_OBS_HOOK(
+            if (req.pfScheme) ++schemeSlot(req.pfScheme).filled;);
+    }
 
     if (pf && req.type != AccessType::Writeback) {
         FillEvent f;

@@ -72,6 +72,16 @@ struct CacheStats
     uint64_t rfoAccess = 0;
     uint64_t rfoHit = 0;
     uint64_t rfoMiss = 0;
+
+    /**
+     * Of loadMiss/rfoMiss: demands that merged into an in-flight
+     * prefetch MSHR (the prefetch was late, but still hid part of the
+     * miss). Distinct sub-counters, not a reclassification — the
+     * plain miss counters keep their historical meaning, and
+     * loadMissLate + rfoMissLate == pfLate at every level.
+     */
+    uint64_t loadMissLate = 0;
+    uint64_t rfoMissLate = 0;
     uint64_t wbAccess = 0;
     uint64_t wbHit = 0;
     uint64_t wbMiss = 0;
@@ -119,6 +129,36 @@ struct CacheStats
     }
 
     void reset() { *this = CacheStats{}; }
+};
+
+/**
+ * Obs attribution: lifecycle counters for one prefetching scheme at
+ * one cache (indexed by the System-assigned scheme id). Pure
+ * additions next to the aggregate CacheStats counters; compiled-out
+ * hooks when GAZE_OBS is off (the vectors stay empty).
+ */
+struct SchemeStats
+{
+    uint64_t issued = 0;   ///< accepted into this cache's PQ
+    uint64_t filled = 0;   ///< blocks filled with the prefetch bit
+    uint64_t useful = 0;   ///< demanded before eviction
+    uint64_t late = 0;     ///< demand merged while still in flight
+    uint64_t useless = 0;  ///< evicted untouched
+    /** Fill-to-first-demand-hit latency (timeliness), sum and count. */
+    uint64_t fillToUseSum = 0;
+    uint64_t fillToUseCnt = 0;
+
+    void
+    add(const SchemeStats &o)
+    {
+        issued += o.issued;
+        filled += o.filled;
+        useful += o.useful;
+        late += o.late;
+        useless += o.useless;
+        fillToUseSum += o.fillToUseSum;
+        fillToUseCnt += o.fillToUseCnt;
+    }
 };
 
 /**
@@ -192,7 +232,20 @@ class Cache : public MemoryDevice, public FillReceiver
 
     const CacheParams &params() const { return cfg; }
     const CacheStats &stats() const { return stat; }
-    void resetStats() { stat.reset(); }
+
+    /** Per-scheme lifecycle counters, indexed by scheme id (0 unused). */
+    const std::vector<SchemeStats> &schemeStats() const
+    {
+        return schemeStat;
+    }
+
+    void
+    resetStats()
+    {
+        stat.reset();
+        for (auto &s : schemeStat)
+            s = SchemeStats{};
+    }
 
     const std::string &name() const { return cfg.name; }
     uint32_t level() const { return cfg.level; }
@@ -211,8 +264,10 @@ class Cache : public MemoryDevice, public FillReceiver
         bool valid = false;
         bool dirty = false;
         bool prefetch = false;  ///< filled by prefetch, not yet demanded
+        uint16_t pfScheme = 0;  ///< issuing scheme id while prefetch set
         Addr paddr = 0;         ///< block-aligned physical address
         Addr vaddr = 0;         ///< block-aligned vaddr of last toucher
+        Cycle fillCycle = 0;    ///< fill time, for fill-to-use latency
     };
 
     struct MshrEntry
@@ -293,10 +348,20 @@ class Cache : public MemoryDevice, public FillReceiver
                         std::greater<>> responses;
     uint64_t responseSeq = 0;
 
+    /** Counter slot for @p scheme_id, growing the table on demand. */
+    SchemeStats &
+    schemeSlot(uint16_t scheme_id)
+    {
+        if (schemeStat.size() <= scheme_id)
+            schemeStat.resize(size_t(scheme_id) + 1);
+        return schemeStat[scheme_id];
+    }
+
     Prefetcher *pf = nullptr;
     VirtualMemory *vmem = nullptr;
 
     CacheStats stat;
+    std::vector<SchemeStats> schemeStat;
 };
 
 } // namespace gaze

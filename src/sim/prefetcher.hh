@@ -127,6 +127,15 @@ class Prefetcher
     /** Metadata storage in bits, for the Table I / Table IV benches. */
     virtual uint64_t storageBits() const { return 0; }
 
+    /**
+     * Obs attribution id, assigned deterministically by System when
+     * the scheme is attached (keyed by (name, attach level), so every
+     * core's copy of one scheme shares an id). 0 = unassigned
+     * (standalone prefetchers in unit tests).
+     */
+    uint16_t schemeId() const { return obsSchemeId; }
+    void setSchemeId(uint16_t id) { obsSchemeId = id; }
+
   protected:
     /**
      * Issue a prefetch for the block containing @p addr.
@@ -143,6 +152,9 @@ class Prefetcher
     virtual bool issuePrefetch(Addr addr, uint32_t fill_level, bool virt);
 
     PrefetcherContext context;
+
+  private:
+    uint16_t obsSchemeId = 0;
 };
 
 } // namespace gaze

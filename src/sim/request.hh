@@ -60,6 +60,15 @@ struct Request
      */
     uint32_t pfOrigin = 0;
 
+    /**
+     * Obs attribution: System-assigned id of the scheme that issued
+     * this prefetch (0 = demand / no scheme). Rides the request down
+     * the hierarchy and into the filled block, so usefulness,
+     * lateness and pollution can be credited to the issuing scheme
+     * wherever they are detected.
+     */
+    uint16_t pfScheme = 0;
+
     /** Who to notify when this request's data is available. */
     FillReceiver *requester = nullptr;
 

@@ -3,6 +3,10 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/obs.hh"
+#include "obs/registry.hh"
+#include "obs/sampler.hh"
+#include "obs/trace.hh"
 
 namespace gaze
 {
@@ -215,6 +219,7 @@ System::setL1Prefetcher(uint32_t cpu, std::unique_ptr<Prefetcher> pf)
     GAZE_ASSERT(cpu < cfg.numCores, "cpu out of range");
     if (!pf)
         return;
+    pf->setSchemeId(schemeIdFor(pf->name(), levelL1));
     l1ds[cpu]->setPrefetcher(pf.get(), &vm, dramCtrl.get(), cpu);
     ownedPrefetchers.push_back(std::move(pf));
 }
@@ -225,8 +230,119 @@ System::setL2Prefetcher(uint32_t cpu, std::unique_ptr<Prefetcher> pf)
     GAZE_ASSERT(cpu < cfg.numCores, "cpu out of range");
     if (!pf)
         return;
+    pf->setSchemeId(schemeIdFor(pf->name(), levelL2));
     l2s[cpu]->setPrefetcher(pf.get(), &vm, dramCtrl.get(), cpu);
     ownedPrefetchers.push_back(std::move(pf));
+}
+
+uint16_t
+System::schemeIdFor(const std::string &name, uint32_t level)
+{
+    std::string label = name + (level == levelL1 ? "@l1" : "@l2");
+    for (size_t i = 0; i < schemeLabels.size(); ++i) {
+        if (schemeLabels[i] == label)
+            return static_cast<uint16_t>(i + 1);
+    }
+    GAZE_ASSERT(schemeLabels.size() < 0xFFFF, "scheme id space exhausted");
+    schemeLabels.push_back(label);
+    return static_cast<uint16_t>(schemeLabels.size());
+}
+
+void
+System::bindObsCounters(obs::Registry *reg)
+{
+    GAZE_ASSERT(reg, "bindObsCounters needs a registry");
+
+    auto bindCache = [&](const std::string &prefix, Cache *c) {
+        const CacheStats &s = c->stats();
+#define GAZE_OBS_CACHE_STAT(f)                                             \
+    reg->bindCounter(prefix + "." #f, &s.f);
+#define GAZE_OBS_CORE_STAT(f)
+#define GAZE_OBS_DRAM_STAT(f)
+#define GAZE_OBS_EVENT_STAT(f)
+#include "obs/stat_names.inc"
+#undef GAZE_OBS_CACHE_STAT
+#undef GAZE_OBS_CORE_STAT
+#undef GAZE_OBS_DRAM_STAT
+#undef GAZE_OBS_EVENT_STAT
+        reg->bindGauge(prefix + ".pqOccupancy",
+                       [c] { return uint64_t(c->pqOccupancy()); });
+        reg->bindGauge(prefix + ".mshrOccupancy",
+                       [c] { return uint64_t(c->mshrOccupancy()); });
+    };
+
+    for (uint32_t c = 0; c < cfg.numCores; ++c) {
+        const std::string n = std::to_string(c);
+        const CoreStats &s = cores[c]->stats();
+#define GAZE_OBS_CACHE_STAT(f)
+#define GAZE_OBS_CORE_STAT(f)                                              \
+    reg->bindCounter("core" + n + "." #f, &s.f);
+#define GAZE_OBS_DRAM_STAT(f)
+#define GAZE_OBS_EVENT_STAT(f)
+#include "obs/stat_names.inc"
+#undef GAZE_OBS_CACHE_STAT
+#undef GAZE_OBS_CORE_STAT
+#undef GAZE_OBS_DRAM_STAT
+#undef GAZE_OBS_EVENT_STAT
+        bindCache("l1d" + n, l1ds[c].get());
+        bindCache("l2" + n, l2s[c].get());
+    }
+    bindCache("llc", llcCache.get());
+
+    {
+        const DramStats &s = dramCtrl->stats();
+        const EventQueueStats &q = eq.stats();
+#define GAZE_OBS_CACHE_STAT(f)
+#define GAZE_OBS_CORE_STAT(f)
+#define GAZE_OBS_DRAM_STAT(f) reg->bindCounter("dram." #f, &s.f);
+#define GAZE_OBS_EVENT_STAT(f) reg->bindCounter("eventq." #f, &q.f);
+#include "obs/stat_names.inc"
+#undef GAZE_OBS_CACHE_STAT
+#undef GAZE_OBS_CORE_STAT
+#undef GAZE_OBS_DRAM_STAT
+#undef GAZE_OBS_EVENT_STAT
+    }
+
+    // Engine-speed counters: deterministic per engine kind, not
+    // across kinds (cross-engine comparisons must filter "engine.*"
+    // and "eventq.*" out, exactly as EngineStats is excluded from the
+    // bitwise differential checks).
+    reg->bindCounter("engine.cycle", &clock);
+    reg->bindCounter("engine.executedCycles", &executedCycles);
+    reg->bindCounter("engine.dispatchedEvents", &dispatchedEvents);
+    reg->bindCounter("engine.flips", &statEngineFlips);
+    reg->bindCounter("engine.polledCycles", &statPolledCycles);
+}
+
+void
+System::setObsSampler(obs::IntervalSampler *sampler)
+{
+    obsSampler = sampler;
+}
+
+void
+System::setObsTrace(obs::TraceSink *sink, const std::string &label)
+{
+    obsTrace = sink;
+    if (!sink)
+        return;
+    obsEngineTid = sink->allocTrack(obs::kPidSim, label + " engine");
+    obsCoreTids.clear();
+    for (uint32_t c = 0; c < cfg.numCores; ++c)
+        obsCoreTids.push_back(sink->allocTrack(
+            obs::kPidSim, label + " core" + std::to_string(c)));
+    obsDramTid = sink->allocTrack(obs::kPidSim, label + " dram");
+}
+
+void
+System::obsStintSpan(const char *name, Cycle begin)
+{
+    if (!obsTrace || clock < begin)
+        return;
+    obsTrace->span(obs::kPidSim, obsEngineTid, name, begin,
+                   clock - begin);
+    obsTrace->counter(obs::kPidSim, obsDramTid, "dram_util", clock,
+                      dramCtrl->recentUtilization());
 }
 
 void
@@ -315,6 +431,7 @@ System::eventLoop(uint64_t cap, uint64_t exec_limit, DoneFn &&done,
             return LoopExit::Capped;
         }
         clock = next;
+        GAZE_OBS_HOOK(if (obsSampler) obsSampler->advanceTo(next););
         size_t n = eq.dispatchCycle(next);
         clock = next + 1;
         if (n > 0) {
@@ -333,6 +450,7 @@ System::polledLoop(uint64_t cap, DoneFn &&done, PostCycleFn &&post)
     while (!done()) {
         if (clock >= cap)
             return false;
+        GAZE_OBS_HOOK(if (obsSampler) obsSampler->advanceTo(clock););
         tickAll();
         post();
     }
@@ -361,6 +479,7 @@ System::polledStint(uint64_t cap, uint64_t stint_len, DoneFn &&done,
         // tick could matter — the same argument that makes the event
         // engine's skips exact.
         bool probe = (clock & (kAutoProbePeriod - 1)) == 0;
+        GAZE_OBS_HOOK(if (obsSampler) obsSampler->advanceTo(clock););
         tickComponents();
         Cycle wake = probe ? minNextWakeCycle() : 0;
         ++clock;
@@ -405,16 +524,17 @@ System::autoLoop(uint64_t cap, DoneFn &&done, PostCycleFn &&post)
     // the polled stint still skips (and flips out of) genuinely idle
     // stretches. Every transition is a function of executed-cycle
     // counts only, so a given run always takes the same path.
+    [[maybe_unused]] Cycle stintBegin = clock;
     while (true) {
         if (!autoInPolled) {
             eq.resume();
             Cycle clockBase = clock;
             uint64_t execBase = executedCycles;
             LoopExit ex = eventLoop(cap, kAutoEventStint, done, post);
-            if (ex == LoopExit::Done)
-                return true;
-            if (ex == LoopExit::Capped)
-                return false;
+            if (ex == LoopExit::Done || ex == LoopExit::Capped) {
+                GAZE_OBS_HOOK(obsStintSpan("event stint", stintBegin););
+                return ex == LoopExit::Done;
+            }
             uint64_t delta = clock - clockBase;
             uint64_t exec = executedCycles - execBase;
             double skip =
@@ -426,21 +546,25 @@ System::autoLoop(uint64_t cap, DoneFn &&done, PostCycleFn &&post)
             }
             eq.suspend();
             ++statEngineFlips;
+            GAZE_OBS_HOOK(obsStintSpan("event stint", stintBegin);
+                          stintBegin = clock;);
             autoInPolled = true;
         } else {
             uint64_t stint = autoPolledStintLen;
             autoPolledStintLen =
                 std::min(autoPolledStintLen * 2, kAutoPolledStintMax);
             LoopExit ex = polledStint(cap, stint, done, post);
-            if (ex == LoopExit::Done)
-                return true;
-            if (ex == LoopExit::Capped)
-                return false;
+            if (ex == LoopExit::Done || ex == LoopExit::Capped) {
+                GAZE_OBS_HOOK(obsStintSpan("polled stint", stintBegin););
+                return ex == LoopExit::Done;
+            }
             // Stint over (or an idle gap opened): trial event mode.
             // scheduleAll() at eventLoop entry re-arms every
             // component, repairing whatever went stale in the queue
             // while it was suspended.
             ++statEngineFlips;
+            GAZE_OBS_HOOK(obsStintSpan("polled stint", stintBegin);
+                          stintBegin = clock;);
             autoInPolled = false;
         }
     }
@@ -559,6 +683,7 @@ System::threadedLoop(uint64_t cap, DoneFn &&done, PostCycleFn &&post)
             if (clock >= cap)
                 return false;
         }
+        GAZE_OBS_HOOK(if (obsSampler) obsSampler->advanceTo(clock););
         wake = executeThreadedCycle();
         post();
     }
@@ -599,8 +724,10 @@ System::run(uint64_t instr_per_core)
         return true;
     };
 
+    [[maybe_unused]] Cycle runBegin = clock;
     if (!driveLoop(cap, all_done, [] {}))
         GAZE_WARN("run() hit the cycle cap; simulation wedged?");
+    GAZE_OBS_HOOK(obsStintSpan("run", runBegin););
 }
 
 void
@@ -640,11 +767,17 @@ System::simulate(uint64_t instr_per_core)
                 out[c].instructions = cores[c]->retired() - base[c];
                 out[c].cycles = clock - start;
                 --remaining;
+                GAZE_OBS_HOOK(
+                    if (obsTrace && c < obsCoreTids.size())
+                        obsTrace->span(obs::kPidSim, obsCoreTids[c],
+                                       "core active", start,
+                                       clock - start););
             }
         }
     };
 
     driveLoop(cap, [&] { return remaining == 0; }, recordFinishers);
+    GAZE_OBS_HOOK(obsStintSpan("simulate", start););
 
     if (remaining > 0)
         GAZE_WARN("simulate() hit the cycle cap with ", remaining,

@@ -26,6 +26,13 @@
 namespace gaze
 {
 
+namespace obs
+{
+class Registry;
+class IntervalSampler;
+class TraceSink;
+} // namespace obs
+
 /**
  * How the system advances time. All engines produce bit-identical
  * metrics (test_engine / test_engine_diff assert it); Event skips
@@ -178,6 +185,39 @@ class System
     uint32_t numCores() const { return cfg.numCores; }
     Cycle cycle() const { return clock; }
 
+    /**
+     * Obs scheme labels in id order: schemeNames()[i] is the label
+     * ("<scheme>@l1" / "<scheme>@l2") of scheme id i+1. Ids are
+     * assigned in attach order, shared by every core's copy of a
+     * scheme, so they are deterministic for a given configuration.
+     */
+    const std::vector<std::string> &schemeNames() const
+    {
+        return schemeLabels;
+    }
+
+    /**
+     * Bind every counter and occupancy gauge of this system into
+     * @p reg under the obs naming scheme (core<i>.*, l1d<i>.*,
+     * l2<i>.*, llc.*, dram.*, eventq.*, engine.*). The registry must
+     * not outlive the system.
+     */
+    void bindObsCounters(obs::Registry *reg);
+
+    /**
+     * Attach (or detach, with null) an interval sampler. Pure
+     * observation: the engine calls IntervalSampler::advanceTo before
+     * executing each cycle and never wakes for a boundary.
+     */
+    void setObsSampler(obs::IntervalSampler *sampler);
+
+    /**
+     * Attach a trace sink for simulated-time spans (engine stints,
+     * per-core measured activity, DRAM utilization samples);
+     * @p label prefixes this system's track names.
+     */
+    void setObsTrace(obs::TraceSink *sink, const std::string &label);
+
     /** Simulation-speed counters (never reset by resetStats). */
     EngineStats engineStats() const;
 
@@ -268,6 +308,15 @@ class System
     template <typename DoneFn, typename PostCycleFn>
     bool driveLoop(uint64_t cap, DoneFn &&done, PostCycleFn &&post);
 
+    /** Obs id for scheme @p name attached at @p level (assigns new). */
+    uint16_t schemeIdFor(const std::string &name, uint32_t level);
+
+    /**
+     * Obs trace: emit one engine-stint span [begin, clock) plus a
+     * DRAM-utilization counter sample. No-op without a sink.
+     */
+    void obsStintSpan(const char *name, Cycle begin);
+
     SystemConfig cfg;
     Cycle clock = 0;
 
@@ -298,6 +347,15 @@ class System
     std::vector<std::unique_ptr<Cache>> l1ds;
     std::vector<std::unique_ptr<Core>> cores;
     std::vector<std::unique_ptr<Prefetcher>> ownedPrefetchers;
+
+    // Obs attachment points (see src/obs/): null/empty when unused,
+    // and every hot-path touch point is compiled out with GAZE_OBS.
+    obs::IntervalSampler *obsSampler = nullptr;
+    obs::TraceSink *obsTrace = nullptr;
+    uint32_t obsEngineTid = 0;
+    uint32_t obsDramTid = 0;
+    std::vector<uint32_t> obsCoreTids;
+    std::vector<std::string> schemeLabels;
 
     // Threaded-mode state (see threaded.hh and executeThreadedCycle).
     std::unique_ptr<SliceTeam> team;

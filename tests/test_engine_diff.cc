@@ -25,6 +25,8 @@
 #include "common/rng.hh"
 #include "harness/metrics.hh"
 #include "harness/runner.hh"
+#include "obs/obs.hh"
+#include "obs/trace.hh"
 #include "workloads/suites.hh"
 
 namespace gaze
@@ -67,6 +69,8 @@ expectSameCacheStats(const CacheStats &a, const CacheStats &b,
     GAZE_EXPECT_FIELD(pfUseful);
     GAZE_EXPECT_FIELD(pfUseless);
     GAZE_EXPECT_FIELD(pfLate);
+    GAZE_EXPECT_FIELD(loadMissLate);
+    GAZE_EXPECT_FIELD(rfoMissLate);
     GAZE_EXPECT_FIELD(mshrMerge);
     GAZE_EXPECT_FIELD(mshrFullStall);
     GAZE_EXPECT_FIELD(writebacksSent);
@@ -89,6 +93,22 @@ expectBitIdentical(const RunResult &got, const RunResult &ref,
     expectSameCacheStats(got.l1d, ref.l1d, "l1d", ctx);
     expectSameCacheStats(got.l2, ref.l2, "l2", ctx);
     expectSameCacheStats(got.llc, ref.llc, "llc", ctx);
+    // Per-scheme attribution is part of the architectural contract.
+    ASSERT_EQ(got.schemes.size(), ref.schemes.size()) << ctx;
+    for (size_t i = 0; i < got.schemes.size(); ++i) {
+        const SchemeCount &gs = got.schemes[i];
+        const SchemeCount &rs = ref.schemes[i];
+        EXPECT_EQ(gs.name, rs.name) << ctx << " scheme " << i;
+        EXPECT_EQ(gs.issued, rs.issued) << ctx << " " << rs.name;
+        EXPECT_EQ(gs.filled, rs.filled) << ctx << " " << rs.name;
+        EXPECT_EQ(gs.useful, rs.useful) << ctx << " " << rs.name;
+        EXPECT_EQ(gs.late, rs.late) << ctx << " " << rs.name;
+        EXPECT_EQ(gs.useless, rs.useless) << ctx << " " << rs.name;
+        EXPECT_EQ(gs.fillToUseSum, rs.fillToUseSum)
+            << ctx << " " << rs.name;
+        EXPECT_EQ(gs.fillToUseCnt, rs.fillToUseCnt)
+            << ctx << " " << rs.name;
+    }
     EXPECT_EQ(got.dram.reads, ref.dram.reads) << ctx;
     EXPECT_EQ(got.dram.writes, ref.dram.writes) << ctx;
     EXPECT_EQ(got.dram.rowHits, ref.dram.rowHits) << ctx;
@@ -308,6 +328,62 @@ TEST(EngineDiff, ThreadCountNeverChangesResults)
         RunResult got = runCase(d, EngineKind::Event, threads);
         expectBitIdentical(got, ref,
                            d.label + " t" + std::to_string(threads));
+    }
+}
+
+// ---- observation must never perturb ---------------------------------
+
+RunResult
+runCaseObserved(const DiffCase &d, EngineKind kind, uint32_t threads,
+                obs::TraceSink *sink, uint64_t interval)
+{
+    RunConfig cfg;
+    cfg.warmupInstr = d.warmup;
+    cfg.simInstr = d.sim;
+    cfg.system.engine = kind;
+    cfg.system.simThreads = threads;
+    cfg.obs.trace = sink;
+    cfg.obs.samplerInterval = interval;
+    Runner r(cfg);
+    return r.runMix(d.mix, d.pf);
+}
+
+TEST(EngineDiff, ObservationOnMatchesObservationOffBitwise)
+{
+    EXPECT_TRUE(kScalePinned);
+    // The observability acceptance criterion: a run with the interval
+    // sampler AND the trace sink attached must be bitwise identical to
+    // the plain run, on every engine and thread count. The sampler's
+    // lazy boundary emission and the sink's pure recording are exactly
+    // what this pins.
+    DiffCase d;
+    d.mix = {findWorkload("mcf"), findWorkload("leslie3d")};
+    d.pf.l1 = "gaze";
+    d.warmup = 1000;
+    d.sim = 4000;
+    d.label = "obs on/off";
+    for (auto [kind, threads] :
+         std::vector<std::pair<EngineKind, uint32_t>>{
+             {EngineKind::Polled, 1},
+             {EngineKind::Polled, 4},
+             {EngineKind::Event, 1},
+             {EngineKind::Event, 4},
+             {EngineKind::Auto, 1},
+             {EngineKind::Auto, 4}}) {
+        RunResult off = runCase(d, kind, threads);
+        obs::TraceSink sink;
+        RunResult on =
+            runCaseObserved(d, kind, threads, &sink, /*interval=*/512);
+        expectBitIdentical(on, off,
+                           d.label + " "
+                               + variantName(kind, threads));
+#if GAZE_OBS_ON
+        // The observed run must actually have observed something, or
+        // the comparison above is vacuous.
+        EXPECT_FALSE(on.obsSamples.empty())
+            << variantName(kind, threads);
+        EXPECT_GT(sink.eventCount(), 0u) << variantName(kind, threads);
+#endif
     }
 }
 

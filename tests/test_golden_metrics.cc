@@ -24,6 +24,7 @@
 
 #include "driver/driver.hh"
 #include "harness/runner.hh"
+#include "obs/obs.hh"
 #include "tracing/trace_io.hh"
 #include "workloads/suites.hh"
 
@@ -193,6 +194,89 @@ TEST(GoldenMetrics, RecordedTracesPinResults)
                         r.m.speedup, r.m.accuracy, r.m.coverage, r.ipc);
     }
 }
+
+#if GAZE_OBS_ON
+// ---- per-scheme attribution pins (obs lifecycle tentpole) -----------
+
+struct SchemeGolden
+{
+    const char *workload;
+    const char *prefetcher;
+    uint64_t issued;
+    uint64_t filled;
+    uint64_t useful;
+    uint64_t late;
+    uint64_t useless;
+};
+
+// Regenerate by running this binary and copying the printed block.
+// Lifecycle counts are integers out of a deterministic simulation, so
+// they are pinned EXACTLY — any drift is a real behavior change in
+// issue/fill/hit/evict attribution, not toolchain noise.
+const SchemeGolden kSchemeGolden[] = {
+    {"leslie3d", "gaze", 12, 10, 10, 2, 0},
+    {"leslie3d", "ip_stride", 808, 115, 82, 164, 0},
+    {"fotonik3d_s", "gaze", 289, 217, 191, 63, 0},
+    {"fotonik3d_s", "ip_stride", 0, 0, 0, 0, 0},
+};
+
+TEST(GoldenMetrics, PerSchemeAttributionPinned)
+{
+    EXPECT_TRUE(kScalePinned);
+    Runner runner(goldenConfig());
+
+    struct Row
+    {
+        std::string workload, prefetcher;
+        SchemeCount c;
+    };
+    std::vector<Row> rows;
+    for (const char *wname : {"leslie3d", "fotonik3d_s"}) {
+        WorkloadDef w = findWorkload(wname);
+        for (const char *pf_name : {"gaze", "ip_stride"}) {
+            PfSpec pf;
+            pf.l1 = pf_name;
+            RunResult res = runner.run(w, pf);
+            ASSERT_EQ(res.schemes.size(), 1u)
+                << wname << " x " << pf_name;
+            Row r;
+            r.workload = wname;
+            r.prefetcher = pf_name;
+            r.c = res.schemes[0];
+            EXPECT_EQ(r.c.name, std::string(pf_name) + "@l1");
+            rows.push_back(std::move(r));
+        }
+    }
+
+    ASSERT_EQ(rows.size(), std::size(kSchemeGolden));
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        const SchemeGolden &g = kSchemeGolden[i];
+        ASSERT_EQ(r.workload, g.workload) << "table order drifted";
+        ASSERT_EQ(r.prefetcher, g.prefetcher) << "table order drifted";
+        const std::string ctx = r.workload + " x " + r.prefetcher;
+        EXPECT_EQ(r.c.issued, g.issued) << ctx;
+        EXPECT_EQ(r.c.filled, g.filled) << ctx;
+        EXPECT_EQ(r.c.useful, g.useful) << ctx;
+        EXPECT_EQ(r.c.late, g.late) << ctx;
+        EXPECT_EQ(r.c.useless, g.useless) << ctx;
+    }
+
+    if (testing::Test::HasNonfatalFailure()) {
+        std::printf("// scheme golden table (paste into "
+                    "kSchemeGolden):\n");
+        for (const auto &r : rows)
+            std::printf("    {\"%s\", \"%s\", %llu, %llu, %llu, %llu, "
+                        "%llu},\n",
+                        r.workload.c_str(), r.prefetcher.c_str(),
+                        (unsigned long long)r.c.issued,
+                        (unsigned long long)r.c.filled,
+                        (unsigned long long)r.c.useful,
+                        (unsigned long long)r.c.late,
+                        (unsigned long long)r.c.useless);
+    }
+}
+#endif // GAZE_OBS_ON
 
 // ---- multi-core mix pins, per engine --------------------------------
 
