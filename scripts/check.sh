@@ -12,8 +12,10 @@
 #                           full `ctest` adds on top)
 #   4. smokes               registry JSON contract (registry_check.py),
 #                           trace record->validate->replay, campaign
-#                           cache, engine throughput, obs trace
-#                           (validate_obs.py on a fresh --obs-trace)
+#                           cache, campaign service daemon
+#                           (serve_smoke.sh), engine throughput, obs
+#                           trace (validate_obs.py on a fresh
+#                           --obs-trace)
 #
 # Variants:
 #   ./scripts/check.sh                    normal gate, build/
@@ -108,8 +110,10 @@ cd "$BUILD_DIR"
 
 if [ "$TSAN" = 1 ]; then
     # The TSan gate is focused: the concurrency-labeled tests hammer
-    # the ThreadPool, the shared BaselineCache and two in-process
-    # campaign shards publishing into one cache dir. Simulation-heavy
+    # the ThreadPool, the shared BaselineCache (incl. LRU eviction),
+    # two in-process campaign shards publishing into one cache dir,
+    # and the campaign service (multi-client dedup + the socket
+    # daemon end to end). Simulation-heavy
     # tier1 tests run 10-20x slower under TSan and exercise no
     # threading the stress tests don't; the address gate covers them.
     ctest -L concurrency --output-on-failure --stop-on-failure
@@ -147,6 +151,14 @@ GAZE_SIM_SCALE=0.02 ./src/gaze_sim --quiet \
 # 100% cache hits, byte-identical report) + sharded equivalence.
 GAZE_SIM_SCALE=0.02 sh ../scripts/campaign_smoke.sh \
     ./src/gaze_campaign check_campaign
+
+# Campaign service smoke: a real daemon on a temp socket must answer
+# a submit with bytes identical to the offline pipeline, serve a
+# resubmit from cache (enqueued=0), answer status on both producers,
+# and drain cleanly on SIGTERM (serve_smoke.sh asserts each stage).
+GAZE_SIM_SCALE=0.02 sh ../scripts/serve_smoke.sh \
+    ./src/gaze_serve ./src/gaze_campaign check_serve \
+    ../scripts/validate_obs.py
 
 # Engine throughput smoke: one short event-engine cell must simulate
 # at a positive Minstr/s (asserted inside the binary, printed here so

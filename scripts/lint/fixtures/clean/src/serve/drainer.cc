@@ -1,0 +1,12 @@
+// Fixture: a serve file doing it right — timing through the wallclock
+// shim, simulator headers flowing upward; serve-isolation must stay
+// silent (including on serve-internal includes).
+#include "harness/wallclock.hh"
+#include "serve/scheduler.hh"
+
+double
+drainSeconds()
+{
+    WallTimer timer;
+    return timer.seconds();
+}

@@ -1,0 +1,8 @@
+// Fixture: a justified allow() on a banned host-time include in the
+// service layer — honored, like any other rule's suppressions.
+#include <ctime> // gaze-lint: allow(serve-isolation): strftime for a log banner only; no simulated state sees it
+
+void
+banner()
+{
+}

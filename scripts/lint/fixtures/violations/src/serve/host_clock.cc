@@ -1,0 +1,10 @@
+// Fixture: serve-isolation — service layer reading host time headers
+// directly instead of going through harness/wallclock.hh.
+#include <chrono> // line 3: finding
+#include <sys/time.h> // line 4: finding
+#include "serve/service.hh"
+
+void
+serveSideHelper()
+{
+}

@@ -1,0 +1,8 @@
+// Fixture: serve-isolation — simulator core including a serve header.
+#include "sim/cache.hh"
+#include "serve/protocol.hh" // line 3: finding
+
+void
+simSideHelper()
+{
+}

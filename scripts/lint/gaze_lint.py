@@ -28,6 +28,13 @@ and fails the build when a change breaks one statically:
                          GAZE_OBS_*_STAT entry in obs/stat_names.inc —
                          the obs registry (and every --obs-timeline
                          column) would silently miss the counter
+  serve-isolation        layering between the simulator and the
+                         gaze_serve daemon: sim/core/prefetchers/
+                         harness must never include serve/ headers
+                         (the service depends on the simulator, not
+                         the reverse), and serve/ must not include
+                         host-time headers directly — daemon timing
+                         goes through harness/wallclock.hh
 
 Findings print as `file:line: [rule-id] message` and make the exit
 status 1. A finding can be suppressed where the code is genuinely
@@ -375,6 +382,41 @@ def rule_obs_direct_mutation(files):
                 "registry binds it" % (name, OBS_MANIFEST, name))
 
 
+# Layering around the gaze_serve daemon: the simulator proper (and the
+# harness it rests on) must stay linkable and testable without the
+# service; serve/ sits on top. And serve/, being long-running host
+# code, is the most tempting place to reach for <chrono> — which the
+# wall-clock rule would only catch at the call site, after the include
+# already normalized it. Ban the includes themselves.
+SERVE_PROTECTED_DIRS = re.compile(r"(^|/)src/(sim|core|prefetchers|harness)/")
+SERVE_DIR = re.compile(r"(^|/)src/serve/")
+SERVE_INCLUDE_RE = re.compile(r"^\s*#\s*include\s*\"serve/")
+SERVE_HOST_TIME_INCLUDE_RE = re.compile(
+    r"^\s*#\s*include\s*[<\"](chrono|ctime|time\.h|sys/time\.h)[>\"]")
+
+
+def rule_serve_isolation(sf):
+    """Scans raw lines: grep_rule skips #include lines by design, and
+    the stripped text blanks the quoted include path anyway."""
+    if SERVE_PROTECTED_DIRS.search(sf.relpath):
+        for lineno, line in enumerate(sf.raw_lines, 1):
+            if SERVE_INCLUDE_RE.match(line):
+                yield Finding(
+                    sf.relpath, lineno, "serve-isolation",
+                    "'%s' pulls the service layer into the simulator "
+                    "core; serve/ may include sim/core/prefetchers/"
+                    "harness, never the reverse" % line.strip())
+    elif SERVE_DIR.search(sf.relpath):
+        for lineno, line in enumerate(sf.raw_lines, 1):
+            if SERVE_HOST_TIME_INCLUDE_RE.match(line):
+                yield Finding(
+                    sf.relpath, lineno, "serve-isolation",
+                    "'%s' reads host time directly in the service "
+                    "layer; route timing through harness/wallclock.hh "
+                    "(WallTimer / hostNowUs) so daemon timing stays "
+                    "shimmed and testable" % line.strip())
+
+
 PER_FILE_RULES = [
     ("wall-clock", rule_wall_clock,
      "host clock/entropy outside harness/wallclock.hh"),
@@ -388,6 +430,8 @@ PER_FILE_RULES = [
      "`using namespace` at header scope"),
     ("pragma-once", rule_pragma_once,
      "header missing `#pragma once`"),
+    ("serve-isolation", rule_serve_isolation,
+     "core including serve/, or serve/ reading host time directly"),
 ]
 
 TREE_RULES = [

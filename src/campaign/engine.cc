@@ -4,7 +4,6 @@
 #include <cstdio>
 #include <mutex>
 #include <set>
-#include <thread>
 
 #include "common/log.hh"
 #include "driver/thread_pool.hh"
@@ -14,21 +13,58 @@
 
 namespace gaze
 {
-namespace
-{
 
-/** One executable unit: a baseline or a prefetcher cell. */
-struct Job
+std::vector<CampaignJob>
+expandCampaignJobs(const Campaign &campaign)
 {
-    std::string label; ///< progress text, e.g. "gaze x mcf (1c)"
-    std::string key;
-    uint64_t hash = 0;
-    uint32_t cores = 1;
-    WorkloadDef workload;
-    PfSpec pf;
-};
+    std::set<uint64_t> queued;
+    std::vector<CampaignJob> jobs;
+    jobs.reserve(campaign.baselines.size() + campaign.cells.size());
+    for (const auto &b : campaign.baselines) {
+        CampaignJob job;
+        job.label = "baseline x " + b.workload.name + " ("
+                    + std::to_string(b.cores) + "c)";
+        job.key = b.key;
+        job.hash = b.hash;
+        job.cores = b.cores;
+        job.isBaseline = true;
+        job.workload = b.workload;
+        queued.insert(b.hash);
+        jobs.push_back(std::move(job));
+    }
+    for (const auto &cell : campaign.cells) {
+        if (!queued.insert(cell.hash).second)
+            continue;
+        CampaignJob job;
+        job.label = cell.pf.label() + " x " + cell.workload.name + " ("
+                    + std::to_string(cell.cores) + "c, " + cell.level
+                    + ")";
+        job.key = cell.key;
+        job.hash = cell.hash;
+        job.cores = cell.cores;
+        job.workload = cell.workload;
+        job.pf = cell.pf;
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
 
-} // namespace
+CellRecord
+executeCampaignJob(const RunConfig &run, const CampaignJob &job,
+                   const std::shared_ptr<BaselineCache> &baselines)
+{
+    obs::HostSpan cellSpan(obs::globalTrace(), "cell " + job.label);
+    WallTimer cellTimer;
+    Runner runner(run, baselines);
+    std::vector<WorkloadDef> mix(job.cores, job.workload);
+    RunResult r = runner.runMix(mix, job.pf);
+
+    CellRecord rec;
+    rec.key = job.key;
+    rec.summary = summarize(r);
+    rec.seconds = cellTimer.seconds();
+    return rec;
+}
 
 CampaignRunStats
 runCampaign(const Campaign &campaign, ResultCache &cache,
@@ -41,44 +77,13 @@ runCampaign(const Campaign &campaign, ResultCache &cache,
 
     WallTimer campaignTimer;
 
-    // Deterministic job order — baselines first (they are the jobs
-    // every comparison needs), then cells in expansion order, each
-    // hash at most once (a spec that lists the same workload or core
-    // count twice expands to duplicate cells; running both would race
-    // on one cache file). Shards partition this sequence round-robin,
-    // so every process derives the identical assignment from the spec
-    // alone — the dedup must happen before partitioning for that.
-    std::set<uint64_t> queued;
-    std::vector<Job> jobs;
-    jobs.reserve(campaign.baselines.size() + campaign.cells.size());
-    for (const auto &b : campaign.baselines) {
-        Job job;
-        job.label = "baseline x " + b.workload.name + " ("
-                    + std::to_string(b.cores) + "c)";
-        job.key = b.key;
-        job.hash = b.hash;
-        job.cores = b.cores;
-        job.workload = b.workload;
-        queued.insert(b.hash);
-        jobs.push_back(std::move(job));
-    }
-    for (const auto &cell : campaign.cells) {
-        if (!queued.insert(cell.hash).second)
-            continue;
-        Job job;
-        job.label = cell.pf.label() + " x " + cell.workload.name + " ("
-                    + std::to_string(cell.cores) + "c, " + cell.level
-                    + ")";
-        job.key = cell.key;
-        job.hash = cell.hash;
-        job.cores = cell.cores;
-        job.workload = cell.workload;
-        job.pf = cell.pf;
-        jobs.push_back(std::move(job));
-    }
+    // Deterministic deduplicated job order (see expandCampaignJobs):
+    // shards partition this sequence round-robin, so every process
+    // derives the identical assignment from the spec alone.
+    std::vector<CampaignJob> jobs = expandCampaignJobs(campaign);
 
     CampaignRunStats stats;
-    std::vector<const Job *> toRun;
+    std::vector<const CampaignJob *> toRun;
     for (size_t i = 0; i < jobs.size(); ++i) {
         if (uint64_t(i) % opt.shardCount != opt.shardIndex) {
             ++stats.otherShards;
@@ -98,7 +103,7 @@ runCampaign(const Campaign &campaign, ResultCache &cache,
     std::atomic<uint64_t> executed{0};
     std::mutex progressMtx;
     size_t announced = 0;
-    auto progress = [&](const Job &job, double secs) {
+    auto progress = [&](const CampaignJob &job, double secs) {
         if (!opt.verbose)
             return;
         std::unique_lock<std::mutex> lock(progressMtx);
@@ -113,23 +118,15 @@ runCampaign(const Campaign &campaign, ResultCache &cache,
         // shard, one per cell job on its worker thread's track.
         obs::HostSpan shardSpan(obs::globalTrace(), "campaign shard");
         ThreadPool pool(stats.threadsUsed);
-        for (const Job *job : toRun) {
+        for (const CampaignJob *job : toRun) {
             pool.submit([&, job] {
-                obs::HostSpan cellSpan(obs::globalTrace(),
-                                       "cell " + job->label);
-                WallTimer cellTimer;
-                Runner runner(campaign.spec.run);
-                std::vector<WorkloadDef> mix(job->cores,
-                                             job->workload);
-                RunResult r = runner.runMix(mix, job->pf);
-
-                CellRecord rec;
-                rec.key = job->key;
-                rec.summary = summarize(r);
-                rec.seconds = cellTimer.seconds();
+                CellRecord rec =
+                    executeCampaignJob(campaign.spec.run, *job);
                 cache.store(job->hash, rec);
                 executed.fetch_add(1, std::memory_order_relaxed);
                 progress(*job, rec.seconds);
+                if (opt.onCell)
+                    opt.onCell(*job, rec);
             });
         }
         pool.wait();

@@ -11,18 +11,63 @@
  * is atomically published to the cache before the run counts it, so
  * killing a campaign at any point loses at most the in-flight cells,
  * and rerunning the same spec recomputes only what is missing.
+ *
+ * The building blocks are public: expandCampaignJobs() yields the
+ * deterministic deduplicated job list and executeCampaignJob() runs a
+ * single job, so callers that need incremental per-cell execution
+ * (gaze_serve's scheduler) compose them directly instead of going
+ * through run-to-completion runCampaign().
  */
 
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "campaign/cache.hh"
 #include "campaign/spec.hh"
 
 namespace gaze
 {
+
+class BaselineCache;
+
+/** One executable unit of a campaign: a baseline or a prefetcher cell. */
+struct CampaignJob
+{
+    std::string label; ///< progress text, e.g. "gaze x mcf (1c, l1)"
+    std::string key;   ///< canonical cell text (cache identity)
+    uint64_t hash = 0; ///< cellHash(key) — the cache address
+    uint32_t cores = 1;
+    bool isBaseline = false;
+    WorkloadDef workload;
+    PfSpec pf;
+};
+
+/**
+ * The deterministic job order of @p campaign — baselines first (they
+ * are the jobs every comparison needs), then cells in expansion order,
+ * each hash at most once (a spec that lists the same workload or core
+ * count twice expands to duplicate cells; running both would race on
+ * one cache file). Shards and the serve scheduler both derive their
+ * assignment from this sequence, so the dedup happens here, before any
+ * partitioning.
+ */
+std::vector<CampaignJob> expandCampaignJobs(const Campaign &campaign);
+
+/**
+ * Simulate one job to completion and return its cell record (the
+ * caller publishes it to a ResultCache). Emits the per-cell host-time
+ * span on the calling thread's track. Pass a shared @p baselines cache
+ * to deduplicate baseline simulations across concurrent jobs.
+ */
+CellRecord executeCampaignJob(const RunConfig &run,
+                              const CampaignJob &job,
+                              const std::shared_ptr<BaselineCache>
+                                  &baselines = nullptr);
 
 /** Execution knobs for one campaign run. */
 struct CampaignRunOptions
@@ -36,6 +81,13 @@ struct CampaignRunOptions
 
     /** Per-job progress lines on stderr. */
     bool verbose = true;
+
+    /**
+     * Completion callback, invoked on the worker thread after each
+     * executed job has been published to the cache (cache hits and
+     * other shards' jobs do not call back). Must be thread safe.
+     */
+    std::function<void(const CampaignJob &, const CellRecord &)> onCell;
 };
 
 /** What one run did (the cache-hit accounting the tests assert on). */

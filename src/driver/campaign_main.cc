@@ -132,6 +132,13 @@ cmdStatus(const GazeCampaignOptions &opt)
     Campaign campaign = loadCampaign(opt.specPath);
     ResultCache cache(opt.cacheDir);
     CampaignCacheStatus status = campaignStatus(campaign, cache);
+    if (opt.jsonOutput) {
+        // Machine-readable line sharing its shape with the daemon's
+        // per-submission status entries; exit code still says missing.
+        std::printf("%s\n",
+                    campaignStatusJson(campaign, cache).c_str());
+        return status.missing ? 2 : 0;
+    }
     std::printf("%s: %llu cached, %llu missing (cache %s)\n",
                 campaign.spec.name.c_str(),
                 static_cast<unsigned long long>(status.cached),

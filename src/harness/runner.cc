@@ -34,7 +34,9 @@ pfSpecAt(const std::string &spec, const std::string &level)
     return pf;
 }
 
-const RunResult &
+BaselineCache::BaselineCache(size_t capacity) : cap(capacity) {}
+
+RunResult
 BaselineCache::getOrCompute(const std::string &key,
                             const std::function<RunResult()> &compute)
 {
@@ -46,10 +48,17 @@ BaselineCache::getOrCompute(const std::string &key,
         auto it = entries.find(key);
         if (it == entries.end()) {
             fut = prom.get_future().share();
-            entries.emplace(key, fut);
+            Entry e;
+            e.fut = fut;
+            entries.emplace(key, std::move(e));
             owner = true;
         } else {
-            fut = it->second;
+            fut = it->second.fut;
+            if (it->second.ready) {
+                lru.erase(it->second.lruIt);
+                lru.push_front(key);
+                it->second.lruIt = lru.begin();
+            }
         }
     }
     // Compute outside the lock so unrelated keys proceed in parallel;
@@ -63,11 +72,36 @@ BaselineCache::getOrCompute(const std::string &key,
         } catch (...) {
             prom.set_exception(std::current_exception());
         }
+        std::unique_lock<std::mutex> lock(mtx);
+        auto it = entries.find(key);
+        // In-flight entries are never on the LRU list, so nothing can
+        // have evicted ours while we computed.
+        GAZE_ASSERT(it != entries.end() && !it->second.ready,
+                    "baseline entry vanished while in flight");
+        it->second.ready = true;
+        lru.push_front(key);
+        it->second.lruIt = lru.begin();
+        evictLocked();
     } else {
         obs::HostSpan span(obs::globalTrace(), "baseline wait");
         fut.wait();
     }
+    // By value: our shared_future copy keeps the shared state alive
+    // even if the map entry was evicted the moment it became ready.
     return fut.get();
+}
+
+void
+BaselineCache::evictLocked()
+{
+    // Only completed entries are evictable; failed computes count as
+    // completed too (their memoized exception ages out like any other
+    // result, after which the key recomputes fresh).
+    while (cap != 0 && lru.size() > cap) {
+        entries.erase(lru.back());
+        lru.pop_back();
+        ++evicted;
+    }
 }
 
 size_t
@@ -75,6 +109,13 @@ BaselineCache::size() const
 {
     std::unique_lock<std::mutex> lock(mtx);
     return entries.size();
+}
+
+uint64_t
+BaselineCache::evictions() const
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    return evicted;
 }
 
 uint64_t
@@ -171,13 +212,13 @@ Runner::runMix(const std::vector<WorkloadDef> &mix, const PfSpec &pf)
     return execute(mix, pf);
 }
 
-const RunResult &
+RunResult
 Runner::baseline(const WorkloadDef &w)
 {
     return baselineMix({w});
 }
 
-const RunResult &
+RunResult
 Runner::baselineMix(const std::vector<WorkloadDef> &mix)
 {
     // The canonical cell text keys the baseline, so Runners with

@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <future>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -95,25 +96,55 @@ PfSpec pfSpecAt(const std::string &spec, const std::string &level);
  * or recomputing the simulation. Share one instance across the
  * thread-pool workers of a matrix or campaign run by passing it to
  * each Runner.
+ *
+ * Residency is bounded for long-running processes (gaze_serve): at
+ * most @p capacity completed entries stay resident, evicted least
+ * recently used. In-flight entries are never evicted, so the
+ * compute-once and failure-propagation guarantees hold at any
+ * capacity: every caller that attaches to an in-flight key gets that
+ * computation's result or exception. An evicted key simply recomputes
+ * on its next request.
  */
 class BaselineCache
 {
   public:
+    /** Default LRU capacity — generous: a full paper-scale sweep has
+        well under this many distinct (config, mix) baselines. */
+    static constexpr size_t kDefaultCapacity = 256;
+
+    /** @p capacity 0 means unbounded. */
+    explicit BaselineCache(size_t capacity = kDefaultCapacity);
+
     /**
      * Return the cached result for @p key, running @p compute (and
      * publishing its result) if this is the first request. If compute
      * throws, the exception propagates to every waiter of this key.
+     * Returns by value: eviction may drop the cache's own copy at any
+     * time, so no reference into the cache can be handed out safely.
      */
-    const RunResult &
-    getOrCompute(const std::string &key,
-                 const std::function<RunResult()> &compute);
+    RunResult getOrCompute(const std::string &key,
+                           const std::function<RunResult()> &compute);
 
     size_t size() const;
+    size_t capacity() const { return cap; }
+    uint64_t evictions() const;
 
   private:
+    struct Entry
+    {
+        std::shared_future<RunResult> fut;
+        bool ready = false; ///< result (or exception) published
+        std::list<std::string>::iterator lruIt; ///< valid when ready
+    };
+
+    void evictLocked();
+
     mutable std::mutex mtx;
+    size_t cap;
+    uint64_t evicted = 0;
     /** Node-based map: shared-state references outlive inserts. */
-    std::map<std::string, std::shared_future<RunResult>> entries;
+    std::map<std::string, Entry> entries;
+    std::list<std::string> lru; ///< ready keys, most recent first
 };
 
 /**
@@ -136,10 +167,10 @@ class Runner
                      const PfSpec &pf);
 
     /** Cached no-prefetch baseline for @p w. */
-    const RunResult &baseline(const WorkloadDef &w);
+    RunResult baseline(const WorkloadDef &w);
 
     /** Cached no-prefetch baseline for a mix. */
-    const RunResult &baselineMix(const std::vector<WorkloadDef> &mix);
+    RunResult baselineMix(const std::vector<WorkloadDef> &mix);
 
     /** Convenience: run + baseline + metric math. */
     PrefetchMetrics evaluate(const WorkloadDef &w, const PfSpec &pf);

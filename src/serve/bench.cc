@@ -1,0 +1,158 @@
+#include "serve/bench.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <vector>
+
+#include "campaign/json.hh"
+#include "common/log.hh"
+#include "driver/thread_pool.hh"
+#include "harness/export.hh"
+#include "harness/wallclock.hh"
+#include "serve/service.hh"
+#include "workloads/suites.hh"
+
+namespace gaze
+{
+namespace serve
+{
+namespace
+{
+
+JsonValue
+benchSpec()
+{
+    // Small but real: two schemes x three workloads -> 6 cells + 3
+    // baselines. Phases are fixed (not scale-derived) so the recorded
+    // throughput is comparable across hosts at any GAZE_SIM_SCALE.
+    std::vector<std::pair<std::string, JsonValue>> doc;
+    doc.emplace_back("name", JsonValue::makeString("serve_bench"));
+    doc.emplace_back(
+        "prefetchers",
+        JsonValue::makeArray({JsonValue::makeString("ip_stride"),
+                              JsonValue::makeString("gaze")}));
+    doc.emplace_back(
+        "workloads",
+        JsonValue::makeArray({JsonValue::makeString("leslie3d"),
+                              JsonValue::makeString("mcf"),
+                              JsonValue::makeString("canneal")}));
+    doc.emplace_back("warmup", JsonValue::makeNumber(2000));
+    doc.emplace_back("sim", JsonValue::makeNumber(8000));
+    return JsonValue::makeObject(std::move(doc));
+}
+
+/** One session that remembers whether the report landed. */
+struct BenchSession
+{
+    std::mutex mtx;
+    uint64_t reports = 0;
+    uint64_t errors = 0;
+};
+
+} // namespace
+
+int
+runServeBench(const BenchOptions &opt)
+{
+    std::string cacheDir = opt.cacheDir;
+    bool tempCache = cacheDir.empty();
+    if (tempCache)
+        cacheDir = "serve_bench_cache";
+    // Cold means cold: the throughput number must never be poisoned
+    // by a leftover cache from a previous run.
+    std::filesystem::remove_all(cacheDir);
+
+    ServiceConfig cfg;
+    cfg.cacheDir = cacheDir;
+    cfg.threads = opt.threads;
+    Service service(cfg);
+
+    BenchSession session;
+    uint64_t client = service.openSession([&](const std::string &line) {
+        std::unique_lock<std::mutex> lock(session.mtx);
+        if (line.find("\"event\":\"report\"") != std::string::npos)
+            ++session.reports;
+        if (line.find("\"event\":\"error\"") != std::string::npos
+            || line.find("\"event\":\"rejected\"")
+                   != std::string::npos)
+            ++session.errors;
+    });
+
+    JsonValue spec = benchSpec();
+    std::string submitLine = encodeSubmit(spec, 0);
+
+    auto submitAndDrain = [&] {
+        WallTimer timer;
+        service.handleLine(client, submitLine);
+        service.drain();
+        return timer.seconds();
+    };
+
+    double coldSeconds = submitAndDrain();
+    SchedulerStats afterCold = service.schedulerStats();
+    uint64_t jobs = afterCold.executed;
+    GAZE_ASSERT(jobs > 0, "bench executed no cells");
+    GAZE_ASSERT(afterCold.failed == 0, "bench cells failed");
+
+    // Warm phase, best of 3: every job must come straight from the
+    // result cache — zero new simulations is the contract.
+    double warmSeconds = -1.0;
+    for (int i = 0; i < 3; ++i) {
+        double s = submitAndDrain();
+        if (warmSeconds < 0.0 || s < warmSeconds)
+            warmSeconds = s;
+    }
+    SchedulerStats afterWarm = service.schedulerStats();
+    GAZE_ASSERT(afterWarm.executed == jobs,
+                "warm submissions re-simulated cached cells");
+    {
+        std::unique_lock<std::mutex> lock(session.mtx);
+        GAZE_ASSERT(session.errors == 0, "bench submissions failed");
+        GAZE_ASSERT(session.reports == 4,
+                    "expected 4 reports, got ", session.reports);
+    }
+    service.closeSession(client);
+
+    uint32_t hostCpus = resolvePoolThreads(0, SIZE_MAX);
+    double coldRate = double(jobs) / coldSeconds;
+    double warmRate =
+        warmSeconds > 0.0 ? double(jobs) / warmSeconds : 0.0;
+
+    JsonWriter j;
+    j.beginObject();
+    j.field("experiment", "serve");
+    j.field("scale", simScale());
+    j.field("host_cpus", uint64_t(hostCpus));
+    j.field("threads", uint64_t(service.threads()));
+    j.field("jobs", jobs);
+    j.key("cold").beginObject();
+    j.field("seconds", coldSeconds);
+    j.field("cells_per_sec", coldRate);
+    j.field("executed", jobs);
+    j.endObject();
+    j.key("warm").beginObject();
+    j.field("seconds", warmSeconds);
+    j.field("cells_per_sec", warmRate);
+    j.field("executed", uint64_t(0));
+    j.field("cache_hits", afterWarm.cacheHits);
+    j.endObject();
+    j.endObject();
+
+    std::printf("serve bench: %llu job(s), cold %.2f cells/s, warm "
+                "%.0f cells/s (%u worker(s))\n",
+                static_cast<unsigned long long>(jobs), coldRate,
+                warmRate, service.threads());
+
+    JsonExport doc("serve", j.str());
+    std::string path =
+        opt.outPath.empty() ? doc.write() : doc.writeTo(opt.outPath);
+    std::printf("results: %s\n", path.c_str());
+
+    if (tempCache)
+        std::filesystem::remove_all(cacheDir);
+    return 0;
+}
+
+} // namespace serve
+} // namespace gaze

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * `gaze_serve --bench`: sustained-throughput probe of the in-process
+ * service, written as BENCH_serve.json next to BENCH_engine.json.
+ * Phase 1 (cold) submits a fixed multi-prefetcher spec into an empty
+ * result cache and measures cells/sec of real simulation; phase 2
+ * (warm) resubmits the identical spec and measures pure cache-hit
+ * answer throughput — the marginal cost of a repeated question.
+ */
+
+#pragma once
+
+#include <string>
+
+namespace gaze
+{
+namespace serve
+{
+
+struct BenchOptions
+{
+    std::string outPath;  ///< empty = BENCH_serve.json default path
+    std::string cacheDir; ///< empty = fresh temp dir under the cwd
+    uint32_t threads = 0; ///< sim workers (0 = hardware)
+};
+
+int runServeBench(const BenchOptions &opt);
+
+} // namespace serve
+} // namespace gaze

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Thin scripting client for the gaze_serve daemon: connect to the
+ * Unix socket, send one request line, stream events until the answer
+ * arrives. Exit codes are script-friendly: 0 success, 3 rejected,
+ * 4 submission failed, 5 protocol/connection trouble.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gaze
+{
+namespace serve
+{
+
+/**
+ * Submit the spec file at @p specPath and wait for the report. The
+ * report JSON is written to @p outPath (default: BENCH_<name>.json in
+ * the cwd), the CSV to @p csvPath when non-empty. Progress events go
+ * to stderr unless @p quiet.
+ */
+int submitToDaemon(const std::string &socketPath,
+                   const std::string &specPath, int64_t priority,
+                   const std::string &outPath,
+                   const std::string &csvPath, bool quiet);
+
+/** Print the daemon's one-line status JSON to stdout. */
+int queryStatus(const std::string &socketPath);
+
+/** Ask the daemon to drain and exit; returns when acknowledged. */
+int requestShutdown(const std::string &socketPath);
+
+} // namespace serve
+} // namespace gaze

@@ -1,0 +1,230 @@
+#include "serve/protocol.hh"
+
+#include <cmath>
+
+#include "harness/export.hh"
+
+namespace gaze
+{
+namespace serve
+{
+
+void
+writeJsonValue(JsonWriter &j, const JsonValue &v)
+{
+    switch (v.type()) {
+      case JsonValue::Type::Null:
+        j.nullValue();
+        break;
+      case JsonValue::Type::Bool:
+        j.value(v.asBool());
+        break;
+      case JsonValue::Type::Number:
+        j.value(v.asNumber());
+        break;
+      case JsonValue::Type::String:
+        j.value(v.asString());
+        break;
+      case JsonValue::Type::Array:
+        j.beginArray();
+        for (const auto &item : v.items())
+            writeJsonValue(j, item);
+        j.endArray();
+        break;
+      case JsonValue::Type::Object:
+        j.beginObject();
+        for (const auto &member : v.members()) {
+            j.key(member.first);
+            writeJsonValue(j, member.second);
+        }
+        j.endObject();
+        break;
+    }
+}
+
+bool
+parseRequest(const std::string &line, Request *out, std::string *why)
+{
+    JsonValue doc;
+    std::string err;
+    if (!parseJson(line, &doc, &err)) {
+        *why = "malformed request: " + err;
+        return false;
+    }
+    if (!doc.isObject()) {
+        *why = "malformed request: expected a JSON object";
+        return false;
+    }
+
+    const JsonValue *op = doc.find("op");
+    if (!op || !op->isString()) {
+        *why = "malformed request: missing string \"op\"";
+        return false;
+    }
+
+    Request req;
+    bool haveSpec = false;
+    for (const auto &member : doc.members()) {
+        const std::string &key = member.first;
+        if (key == "op")
+            continue;
+        if (key == "spec") {
+            req.spec = member.second;
+            haveSpec = true;
+        } else if (key == "priority") {
+            const JsonValue &p = member.second;
+            double n = p.isNumber() ? p.asNumber() : std::nan("");
+            if (!(n == std::floor(n))
+                || !(n >= double(-kMaxPriority))
+                || !(n <= double(kMaxPriority))) {
+                *why = "malformed request: \"priority\" must be an "
+                       "integer in [-1000000, 1000000]";
+                return false;
+            }
+            req.priority = static_cast<int64_t>(n);
+        } else {
+            *why = "malformed request: unknown key \"" + key + "\"";
+            return false;
+        }
+    }
+
+    const std::string &name = op->asString();
+    if (name == "submit") {
+        req.op = Request::Op::Submit;
+        if (!haveSpec) {
+            *why = "malformed request: submit needs a \"spec\" object";
+            return false;
+        }
+    } else if (name == "status") {
+        req.op = Request::Op::Status;
+    } else if (name == "shutdown") {
+        req.op = Request::Op::Shutdown;
+    } else {
+        *why = "malformed request: unknown op \"" + name + "\"";
+        return false;
+    }
+    if (req.op != Request::Op::Submit && haveSpec) {
+        *why = "malformed request: \"spec\" only applies to submit";
+        return false;
+    }
+    *out = std::move(req);
+    return true;
+}
+
+std::string
+encodeSubmit(const JsonValue &spec, int64_t priority)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.field("op", "submit");
+    // JsonWriter has no signed-64 overload; int covers the clamped
+    // priority range exactly.
+    j.field("priority", static_cast<int>(priority));
+    j.key("spec");
+    writeJsonValue(j, spec);
+    j.endObject();
+    return j.str();
+}
+
+std::string
+encodeStatus()
+{
+    JsonWriter j;
+    j.beginObject();
+    j.field("op", "status");
+    j.endObject();
+    return j.str();
+}
+
+std::string
+encodeShutdown()
+{
+    JsonWriter j;
+    j.beginObject();
+    j.field("op", "shutdown");
+    j.endObject();
+    return j.str();
+}
+
+std::string
+eventAccepted(uint64_t submission, uint64_t cells, uint64_t cached,
+              uint64_t shared, uint64_t enqueued)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.field("event", "accepted");
+    j.field("submission", submission);
+    j.field("cells", cells);
+    j.field("cached", cached);
+    j.field("shared", shared);
+    j.field("enqueued", enqueued);
+    j.endObject();
+    return j.str();
+}
+
+std::string
+eventRejected(const std::string &reason)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.field("event", "rejected");
+    j.field("reason", reason);
+    j.endObject();
+    return j.str();
+}
+
+std::string
+eventProgress(uint64_t submission, uint64_t done, uint64_t total,
+              const std::string &label, double seconds)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.field("event", "progress");
+    j.field("submission", submission);
+    j.field("done", done);
+    j.field("total", total);
+    j.field("cell", label);
+    j.field("seconds", seconds);
+    j.endObject();
+    return j.str();
+}
+
+std::string
+eventReport(uint64_t submission, const std::string &name,
+            const std::string &reportJson, const std::string &csv)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.field("event", "report");
+    j.field("submission", submission);
+    j.field("name", name);
+    j.field("report", reportJson);
+    j.field("csv", csv);
+    j.endObject();
+    return j.str();
+}
+
+std::string
+eventError(uint64_t submission, const std::string &message)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.field("event", "error");
+    j.field("submission", submission);
+    j.field("message", message);
+    j.endObject();
+    return j.str();
+}
+
+std::string
+eventBye()
+{
+    JsonWriter j;
+    j.beginObject();
+    j.field("event", "bye");
+    j.endObject();
+    return j.str();
+}
+
+} // namespace serve
+} // namespace gaze

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The gaze_serve daemon's transport: a Unix-domain stream socket with
+ * newline-delimited JSON lines, served by a single poll() loop. All
+ * campaign logic lives in serve/service.hh; this file only moves
+ * bytes, accepts connections, and turns SIGTERM/SIGINT into a
+ * graceful drain — in-flight cells finish and publish atomically,
+ * pending events flush, then the process exits 0.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "serve/service.hh"
+
+namespace gaze
+{
+namespace serve
+{
+
+struct ServerConfig
+{
+    std::string socketPath;
+    std::string obsTracePath; ///< write a host-time trace on exit
+    ServiceConfig service;
+};
+
+/**
+ * Bind, listen, and serve until a shutdown request or SIGTERM/SIGINT,
+ * then drain and return the process exit code. Fatal on setup errors
+ * (unbindable path); never fatal on client input.
+ */
+int runServer(const ServerConfig &cfg);
+
+} // namespace serve
+} // namespace gaze

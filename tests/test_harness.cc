@@ -163,15 +163,19 @@ TEST(Runner, BaselineIsMemoized)
     cfg.simInstr = 15000;
     Runner runner(cfg);
 
-    WorkloadDef w{"tiny-stream", "test", [] {
+    int built = 0;
+    WorkloadDef w{"tiny-stream", "test", [&built] {
+                      ++built;
                       StreamParams p;
                       p.records = 60000;
                       return genStream(p);
                   }};
-    const RunResult &a = runner.baseline(w);
-    const RunResult &b = runner.baseline(w);
-    EXPECT_EQ(&a, &b); // same cached object
+    RunResult a = runner.baseline(w);
+    RunResult b = runner.baseline(w);
+    EXPECT_EQ(built, 1); // the second ask came from the memo
     EXPECT_GT(a.ipc(), 0.0);
+    EXPECT_EQ(a.instructionsRetired, b.instructionsRetired);
+    EXPECT_DOUBLE_EQ(a.ipc(), b.ipc());
 }
 
 TEST(Runner, EvaluateProducesSaneMetrics)
