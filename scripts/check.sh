@@ -13,9 +13,16 @@
 #   4. smokes               registry JSON contract (registry_check.py),
 #                           trace record->validate->replay, campaign
 #                           cache, campaign service daemon
-#                           (serve_smoke.sh), engine throughput, obs
-#                           trace (validate_obs.py on a fresh
-#                           --obs-trace)
+#                           (serve_smoke.sh), engine throughput +
+#                           structure microbench, obs trace
+#                           (validate_obs.py on a fresh --obs-trace)
+#   5. bench_compare        normal (non-sanitize) gate only: rerun the
+#                           full engine benchmark at the committed
+#                           baseline's scale and fail on a >10%
+#                           geomean Minstr/s regression against the
+#                           checked-in BENCH_engine.json;
+#                           bench_compare.py SKIPs with a notice when
+#                           host_cpus (or the workload size) differs
 #
 # Variants:
 #   ./scripts/check.sh                    normal gate, build/
@@ -171,6 +178,13 @@ cat engine_smoke.txt
 grep -q "Minstr/s" engine_smoke.txt
 grep -q "metrics identical" engine_smoke.txt
 
+# Structure microbench smoke: the self-timed MshrTable/LruTable
+# harness must run its quick slice and report every structure (the
+# numbers are informational; a crash or a missing row is the failure).
+./bench/micro_structures --quick > micro_smoke.txt
+grep -q "MshrTable find (hit)" micro_smoke.txt
+grep -q "LruTable insert" micro_smoke.txt
+
 # Adaptive + threaded engine smoke through the real CLI: the auto
 # engine must run a matrix end to end, and a 4-core mix must run on
 # a 4-thread slice team (bit-identity is the differential suite's
@@ -197,5 +211,20 @@ GAZE_SIM_SCALE=0.02 ./src/gaze_sim --quiet \
     --out=obs_smoke.json
 python3 ../scripts/validate_obs.py obs_smoke_trace.json
 head -1 obs_smoke_timeline.csv | grep -q "^prefetcher,workload,cycle,"
+
+# Perf-regression gate, normal build only: sanitizer instrumentation
+# slows the simulator 5-20x, so those builds would always "regress".
+# The fresh run uses the committed baseline's own scale so the work
+# matches; bench_compare.py skips itself on a host mismatch.
+if [ "$BUILD_DIR" = build ]; then
+    echo "== bench_compare =="
+    BASE_SCALE=$(python3 -c "import json; \
+print(json.load(open('../BENCH_engine.json'))['scale'])")
+    GAZE_SIM_SCALE="$BASE_SCALE" ./bench/bench_engine \
+        > bench_engine_full.txt
+    tail -n 6 bench_engine_full.txt
+    python3 ../scripts/bench_compare.py \
+        ../BENCH_engine.json BENCH_engine.json
+fi
 
 echo "check.sh: all stages passed"

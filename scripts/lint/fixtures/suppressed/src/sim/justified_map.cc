@@ -1,0 +1,11 @@
+// Justified hot-container allows must be honored, both same-line and
+// comment-block-above forms.
+#include <map>
+
+namespace gaze {
+// gaze-lint: allow(hot-container): parse-time option table, never
+// touched per simulated access
+std::map<int, int> optionTable;
+
+std::list<int> coldList; // gaze-lint: allow(hot-container): drained once at shutdown
+} // namespace gaze

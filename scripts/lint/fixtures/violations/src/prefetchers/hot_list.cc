@@ -1,0 +1,6 @@
+// hot-container fixture, prefetcher side: a std::list FIFO (line 5).
+#include <list>
+
+namespace gaze {
+std::list<unsigned long> issueFifo;
+} // namespace gaze

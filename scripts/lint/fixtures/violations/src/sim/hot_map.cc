@@ -1,0 +1,8 @@
+// hot-container fixture: node/rehashing containers on the per-access
+// path. Lines 6 and 7 must each fire exactly once.
+#include <map>
+
+namespace gaze {
+std::unordered_map<unsigned long, int> mshrByAddr;
+std::map<unsigned long, int> tagIndex;
+} // namespace gaze

@@ -18,6 +18,13 @@ and fails the build when a change breaks one statically:
                          sanctioned shims (driver/thread_pool.hh and
                          sim/threaded.{hh,cc}) — ad-hoc threads are
                          where nondeterminism and leaked joins start
+  hot-container          std::unordered_map/std::map/std::list inside
+                         src/sim/ or src/prefetchers/ — node-based or
+                         rehashing containers on the per-access hot
+                         path allocate per element and chase pointers
+                         per lookup; use the flat project structures
+                         (MshrTable, LruTable, RingBuffer) or plain
+                         vectors, or justify genuinely cold uses
   using-namespace-header `using namespace` at header scope
   pragma-once            header missing `#pragma once`
   register-anchor        GAZE_REGISTER_PREFETCHER without the matching
@@ -245,6 +252,29 @@ def rule_raw_thread(sf):
         "exception capture and determinism stay centralized")
 
 
+# The per-access hot path: every simulated memory reference walks
+# src/sim/ and src/prefetchers/ code, so a node-based or rehashing
+# container there means heap churn per miss and pointer chasing per
+# lookup. The flat structures (sim/mshr_table.hh, common/lru_table.hh,
+# common/ring_buffer.hh) exist to replace them; uses that are
+# genuinely cold (parse-time option tables, error paths) carry a
+# justified allow instead.
+HOT_PATH_DIRS = re.compile(r"(^|/)src/(sim|prefetchers)/")
+
+HOT_CONTAINER_RE = re.compile(r"\bstd::(unordered_map|map|list)\b")
+
+
+def rule_hot_container(sf):
+    if not HOT_PATH_DIRS.search(sf.relpath):
+        return
+    yield from grep_rule(
+        sf, "hot-container", [HOT_CONTAINER_RE],
+        "'%s' on the simulator hot path: node-based/rehashing "
+        "containers allocate per element and chase pointers per "
+        "lookup; use MshrTable/LruTable/RingBuffer or a flat vector, "
+        "or justify a genuinely cold use with an allow()")
+
+
 USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\b")
 
 
@@ -426,6 +456,8 @@ PER_FILE_RULES = [
      "ordering or hashing raw pointer values"),
     ("raw-thread", rule_raw_thread,
      "std::thread outside thread_pool.hh / sim/threaded.*"),
+    ("hot-container", rule_hot_container,
+     "node-based/rehashing std container in sim/ or prefetchers/"),
     ("using-namespace-header", rule_using_namespace_header,
      "`using namespace` at header scope"),
     ("pragma-once", rule_pragma_once,

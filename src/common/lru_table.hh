@@ -9,12 +9,21 @@
  * implements that shape once, with eviction reporting so callers can run
  * "learning on eviction" logic (e.g. the AT sends its footprint to the
  * PHM when an entry is replaced).
+ *
+ * Layout: split arrays, not an array of slot structs. A set scan reads
+ * only the tag array (8 ways x 8B = one cache line) plus the stamp
+ * array; payloads — which can be fat (the PB's pattern vectors) — are
+ * touched only on a hit. Validity is encoded in the stamp (0 =
+ * invalid; live stamps start at 1), so the scan needs no third array.
+ * acquire() additionally lets a caller claim the victim slot and
+ * rebuild its payload *in place*, which is what makes the prefetch
+ * buffer's install path allocation-free (pattern vectors are recycled
+ * with their heap capacity intact).
  */
 
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <vector>
 
@@ -43,6 +52,20 @@ class LruTable
     };
 
     /**
+     * Result of acquire(): the payload slot for (set, tag). On a miss
+     * the slot is the claimed victim and still holds the *previous*
+     * payload — the caller must fully reinitialize it (reusing any
+     * heap capacity it carries).
+     */
+    struct Acquired
+    {
+        EntryT *data;
+        bool hit;
+        bool evicted;        ///< the claimed way held a valid entry
+        uint64_t evictedTag; ///< meaningful only when evicted
+    };
+
+    /**
      * @param num_sets number of sets (a power of two: every caller
      *        derives the set index with `key & (sets() - 1)`, which
      *        silently aliases or skips sets for other counts)
@@ -50,7 +73,8 @@ class LruTable
      */
     LruTable(size_t num_sets, size_t num_ways)
         : numSets(num_sets), numWays(num_ways),
-          slots(num_sets * num_ways), setStamp(num_sets, 0)
+          tags(num_sets * num_ways, 0), stamps(num_sets * num_ways, 0),
+          payload(num_sets * num_ways), setStamp(num_sets, 0)
     {
         GAZE_ASSERT(isPowerOfTwo(num_sets),
                     "set count must be a power of two, got ", num_sets);
@@ -70,26 +94,48 @@ class LruTable
     EntryT *
     find(uint64_t set, uint64_t tag, bool touch = true)
     {
-        Slot *s = findSlot(set, tag);
-        if (!s)
+        size_t i = findSlot(set, tag);
+        if (i == kNoSlot)
             return nullptr;
         if (touch)
-            s->stamp = nextStamp(set);
-        return &s->data;
+            stamps[i] = nextStamp(set);
+        return &payload[i];
     }
 
     /** Const lookup that never touches LRU state. */
     const EntryT *
     peek(uint64_t set, uint64_t tag) const
     {
-        const Slot *s = const_cast<LruTable *>(this)->findSlot(set, tag);
-        return s ? &s->data : nullptr;
+        size_t i = const_cast<LruTable *>(this)->findSlot(set, tag);
+        return i == kNoSlot ? nullptr : &payload[i];
     }
 
     /** True iff (set, tag) is present. */
     bool contains(uint64_t set, uint64_t tag) const
     {
         return peek(set, tag) != nullptr;
+    }
+
+    /**
+     * Claim the slot for (set, tag) without constructing a payload: a
+     * hit touches LRU and returns the existing entry; a miss claims
+     * the LRU victim (identical victim choice to insert()), retags and
+     * touches it, and reports what it evicted. The returned payload is
+     * the victim's old contents, for in-place reinitialization.
+     */
+    Acquired
+    acquire(uint64_t set, uint64_t tag)
+    {
+        size_t i = findSlot(set, tag);
+        if (i != kNoSlot) {
+            stamps[i] = nextStamp(set);
+            return Acquired{&payload[i], true, false, 0};
+        }
+        size_t v = victimSlot(set);
+        Acquired out{&payload[v], false, stamps[v] != 0, tags[v]};
+        tags[v] = tag;
+        stamps[v] = nextStamp(set);
+        return out;
     }
 
     /**
@@ -100,32 +146,20 @@ class LruTable
     std::optional<Evicted>
     insert(uint64_t set, uint64_t tag, EntryT data)
     {
-        checkSet(set);
-        Slot *hit = findSlot(set, tag);
-        if (hit) {
-            hit->data = std::move(data);
-            hit->stamp = nextStamp(set);
+        size_t i = findSlot(set, tag);
+        if (i != kNoSlot) {
+            payload[i] = std::move(data);
+            stamps[i] = nextStamp(set);
             return std::nullopt;
         }
 
-        Slot *victim = nullptr;
-        for (size_t w = 0; w < numWays; ++w) {
-            Slot &s = slotAt(set, w);
-            if (!s.valid) {
-                victim = &s;
-                break;
-            }
-            if (!victim || s.stamp < victim->stamp)
-                victim = &s;
-        }
-
+        size_t v = victimSlot(set);
         std::optional<Evicted> out;
-        if (victim->valid)
-            out = Evicted{victim->tag, std::move(victim->data)};
-        victim->valid = true;
-        victim->tag = tag;
-        victim->data = std::move(data);
-        victim->stamp = nextStamp(set);
+        if (stamps[v] != 0)
+            out = Evicted{tags[v], std::move(payload[v])};
+        tags[v] = tag;
+        payload[v] = std::move(data);
+        stamps[v] = nextStamp(set);
         return out;
     }
 
@@ -137,19 +171,19 @@ class LruTable
     std::optional<EntryT>
     erase(uint64_t set, uint64_t tag)
     {
-        Slot *s = findSlot(set, tag);
-        if (!s)
+        size_t i = findSlot(set, tag);
+        if (i == kNoSlot)
             return std::nullopt;
-        s->valid = false;
-        return std::move(s->data);
+        stamps[i] = 0;
+        return std::move(payload[i]);
     }
 
     /** Drop every entry. */
     void
     clear()
     {
-        for (auto &s : slots)
-            s.valid = false;
+        for (auto &s : stamps)
+            s = 0;
     }
 
     /** Number of valid entries (O(capacity)). */
@@ -157,8 +191,8 @@ class LruTable
     occupancy() const
     {
         size_t n = 0;
-        for (const auto &s : slots)
-            n += s.valid;
+        for (auto s : stamps)
+            n += s != 0;
         return n;
     }
 
@@ -172,9 +206,9 @@ class LruTable
     {
         for (size_t set = 0; set < numSets; ++set) {
             for (size_t w = 0; w < numWays; ++w) {
-                Slot &s = slotAt(set, w);
-                if (s.valid)
-                    fn(set, s.tag, s.data);
+                size_t i = set * numWays + w;
+                if (stamps[i] != 0)
+                    fn(set, tags[i], payload[i]);
             }
         }
     }
@@ -187,25 +221,20 @@ class LruTable
     victimTag(uint64_t set) const
     {
         checkSet(set);
-        const Slot *victim = nullptr;
+        size_t base = set * numWays;
+        size_t best = kNoSlot;
         for (size_t w = 0; w < numWays; ++w) {
-            const Slot &s = slots[set * numWays + w];
-            if (!s.valid)
+            size_t i = base + w;
+            if (stamps[i] == 0)
                 return std::nullopt;
-            if (!victim || s.stamp < victim->stamp)
-                victim = &s;
+            if (best == kNoSlot || stamps[i] < stamps[best])
+                best = i;
         }
-        return victim->tag;
+        return tags[best];
     }
 
   private:
-    struct Slot
-    {
-        bool valid = false;
-        uint64_t tag = 0;
-        uint64_t stamp = 0;
-        EntryT data{};
-    };
+    static constexpr size_t kNoSlot = ~size_t(0);
 
     void
     checkSet(uint64_t set) const
@@ -213,25 +242,44 @@ class LruTable
         GAZE_ASSERT(set < numSets, "set ", set, " out of range ", numSets);
     }
 
-    Slot &slotAt(size_t set, size_t way) { return slots[set * numWays + way]; }
-
-    Slot *
+    size_t
     findSlot(uint64_t set, uint64_t tag)
     {
         checkSet(set);
+        size_t base = set * numWays;
         for (size_t w = 0; w < numWays; ++w) {
-            Slot &s = slotAt(set, w);
-            if (s.valid && s.tag == tag)
-                return &s;
+            size_t i = base + w;
+            if (tags[i] == tag && stamps[i] != 0)
+                return i;
         }
-        return nullptr;
+        return kNoSlot;
+    }
+
+    /**
+     * The way insert()/acquire() claim: stamp 0 (invalid) sorts below
+     * every live stamp (which start at 1), so a single min-stamp,
+     * first-wins scan lands on the first free way when one exists and
+     * on true LRU otherwise.
+     */
+    size_t
+    victimSlot(uint64_t set) const
+    {
+        size_t base = set * numWays;
+        size_t best = base;
+        for (size_t w = 1; w < numWays; ++w) {
+            if (stamps[base + w] < stamps[best])
+                best = base + w;
+        }
+        return best;
     }
 
     uint64_t nextStamp(uint64_t set) { return ++setStamp[set]; }
 
     size_t numSets;
     size_t numWays;
-    std::vector<Slot> slots;
+    std::vector<uint64_t> tags;
+    std::vector<uint64_t> stamps;
+    std::vector<EntryT> payload;
     std::vector<uint64_t> setStamp;
 };
 

@@ -183,7 +183,8 @@ GazePrefetcher::predict(Addr region_base, AtEntry &e)
     if (streaming && cfg.enableStreamingModule && !cfg.streamingViaPht) {
         // Stage 1 (Fig. 3c top): choose the initial aggressiveness
         // from the double-check of DPCT and DC.
-        PfPattern pat(blocks, PfLevel::None);
+        patScratch.assign(blocks, PfLevel::None);
+        PfPattern &pat = patScratch;
         bool any = false;
         if (detector.isDensePc(e.hashedPc) || detector.counterFull()) {
             ++ctr.streamFullAggr;
@@ -216,7 +217,8 @@ GazePrefetcher::predict(Addr region_base, AtEntry &e)
                                        : phtTable.lookupApprox(e.first);
     if (fp) {
         ++ctr.phtHits;
-        PfPattern pat(blocks, PfLevel::None);
+        patScratch.assign(blocks, PfLevel::None);
+        PfPattern &pat = patScratch;
         for (size_t b = fp->findFirst(); b < fp->size();
              b = fp->findNext(b + 1))
             pat[b] = PfLevel::L1; // PHT prefetches all blocks into L1D
@@ -237,7 +239,8 @@ void
 GazePrefetcher::strideIssue(Addr region_base, uint32_t off,
                             int64_t stride)
 {
-    PfPattern pat(blocks, PfLevel::None);
+    patScratch.assign(blocks, PfLevel::None);
+    PfPattern &pat = patScratch;
     bool any = false;
     for (uint32_t k = 0; k < cfg.promoteBlocks; ++k) {
         int64_t t = int64_t(off)

@@ -131,6 +131,14 @@ class GazePrefetcher : public Prefetcher
     StreamingDetector detector;
     std::optional<PrefetchBuffer> pb;
 
+    /**
+     * Reused pattern scratch for the three install paths: patterns are
+     * built, handed to PrefetchBuffer::install (which copies in
+     * place), and dead immediately after — one buffer serves all
+     * three without per-prediction allocation.
+     */
+    PfPattern patScratch;
+
     GazeCounters ctr;
 };
 

@@ -287,6 +287,11 @@ matrixToJson(const MatrixSpec &spec, const MatrixResult &result)
     j.field("threads", uint64_t(result.threadsUsed));
     j.field("engine", result.engine);
     j.field("sim_threads", uint64_t(spec.run.system.simThreads));
+    // Wall-clock throughput fields are only comparable between runs
+    // on a like host; record the machine class alongside them.
+    // gaze-lint: allow(raw-thread): hardware_concurrency() query
+    // only, no thread is created
+    j.field("host_cpus", uint64_t(std::thread::hardware_concurrency()));
     // Trace provenance: where the workload streams came from, so a
     // result document is reproducible on its own. trace_dir is null
     // for generator runs (traces regenerated from RNG state).

@@ -45,15 +45,21 @@ PrefetchBuffer::install(Addr region_base, const PfPattern &pattern,
         return;
     }
 
-    Entry fresh;
-    fresh.pattern = pattern;
-    fresh.pending = 0;
-    for (auto l : fresh.pattern)
-        fresh.pending += l != PfLevel::None;
-    if (fresh.pending == 0)
+    // Count pending bits before claiming a slot: an all-None pattern
+    // installs nothing and must not evict a live region.
+    uint32_t pend = 0;
+    for (auto l : pattern)
+        pend += l != PfLevel::None;
+    if (pend == 0)
         return;
-    fresh.cursor = start_offset % cfg.blocksPerRegion;
-    table.insert(set, region_base, std::move(fresh));
+
+    // Claim the victim way and rebuild its payload in place: the
+    // evicted entry's pattern vector keeps its heap capacity, so
+    // steady-state installs allocate nothing.
+    Entry &slot = *table.acquire(set, region_base).data;
+    slot.pattern.assign(pattern.begin(), pattern.end());
+    slot.pending = pend;
+    slot.cursor = start_offset % cfg.blocksPerRegion;
     issueQueue.push_back(region_base);
 }
 

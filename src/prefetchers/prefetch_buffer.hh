@@ -15,10 +15,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/lru_table.hh"
+#include "common/ring_buffer.hh"
 #include "common/types.hh"
 
 namespace gaze
@@ -156,7 +156,7 @@ class PrefetchBuffer
 
     PrefetchBufferParams cfg;
     LruTable<Entry> table;
-    std::deque<Addr> issueQueue;
+    RingBuffer<Addr> issueQueue;
 };
 
 } // namespace gaze

@@ -221,6 +221,7 @@ OptionSchema::defaultText() const
 // -------------------------------------------------------- SpecOptions
 
 SpecOptions::SpecOptions(const PrefetcherDescriptor &desc_,
+                         // gaze-lint: allow(hot-container): build time
                          const std::map<std::string, std::string> &values_)
     : desc(&desc_), values(&values_)
 {

@@ -99,6 +99,7 @@ class SpecOptions
 {
   public:
     SpecOptions(const PrefetcherDescriptor &desc,
+                // gaze-lint: allow(hot-container): build time only
                 const std::map<std::string, std::string> &values);
 
     /** Flag option: was it present? */
@@ -115,6 +116,7 @@ class SpecOptions
                                OptionType type) const;
 
     const PrefetcherDescriptor *desc;
+    // gaze-lint: allow(hot-container): read at scheme build time only
     const std::map<std::string, std::string> *values;
 };
 
@@ -185,6 +187,8 @@ class PrefetcherRegistry
     PrefetcherRegistry();
 
     std::vector<std::unique_ptr<PrefetcherDescriptor>> descriptors;
+    // gaze-lint: allow(hot-container): name lookup happens once per
+    // spec parse; ordered iteration feeds the introspection table
     std::map<std::string, const PrefetcherDescriptor *> byName;
 };
 
@@ -200,6 +204,8 @@ struct CanonicalSpec
     const PrefetcherDescriptor *desc = nullptr;
 
     /** Non-default options, keyed by name (flags map to "1"). */
+    // gaze-lint: allow(hot-container): canonical spec state, built
+    // once per run; sorted order defines the canonical spelling
     std::map<std::string, std::string> options;
 
     /** The canonical spec string (what cache keys embed). */

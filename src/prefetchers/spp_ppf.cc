@@ -10,7 +10,8 @@ namespace gaze
 SppPpfPrefetcher::SppPpfPrefetcher(const SppParams &params)
     : cfg(params), st(1, params.stEntries), pt(params.ptSets),
       weights(numFeatures,
-              std::vector<int32_t>(params.ppfTableSize, 0))
+              std::vector<int32_t>(params.ppfTableSize, 0)),
+      pending(params.ppfHistory)
 {
 }
 
@@ -74,11 +75,14 @@ void
 SppPpfPrefetcher::recordPending(Addr block, const FeatureVec &feats)
 {
     while (pendingFifo.size() >= cfg.ppfHistory) {
-        pending.erase(pendingFifo.front());
+        pending.erase(pendingFifo.front()); // tolerant of stale slots
         pendingFifo.pop_front();
     }
-    if (pending.emplace(block, feats).second)
+    // First record for the block wins, as unordered_map::emplace did.
+    if (!pending.find(block)) {
+        pending.insert(block) = feats;
         pendingFifo.push_back(block);
+    }
 }
 
 void
@@ -92,10 +96,9 @@ SppPpfPrefetcher::onAccess(const DemandAccess &access)
     // Usefulness feedback: a demand touching a block we prefetched is
     // a positive training event for the filter.
     if (cfg.enablePpf) {
-        auto it = pending.find(block);
-        if (it != pending.end()) {
-            trainPerceptron(it->second, /*useful=*/true);
-            pending.erase(it);
+        if (const FeatureVec *feats = pending.find(block)) {
+            trainPerceptron(*feats, /*useful=*/true);
+            pending.erase(block);
         }
     }
 
@@ -175,10 +178,9 @@ SppPpfPrefetcher::onEvict(Addr /*paddr*/, Addr vaddr)
     // A prefetched block leaving the cache untouched is a negative
     // training event.
     Addr block = blockNumber(vaddr);
-    auto it = pending.find(block);
-    if (it != pending.end()) {
-        trainPerceptron(it->second, /*useful=*/false);
-        pending.erase(it);
+    if (const FeatureVec *feats = pending.find(block)) {
+        trainPerceptron(*feats, /*useful=*/false);
+        pending.erase(block);
     }
 }
 

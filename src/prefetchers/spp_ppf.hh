@@ -20,11 +20,11 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "common/lru_table.hh"
+#include "common/ring_buffer.hh"
+#include "sim/mshr_table.hh"
 #include "sim/prefetcher.hh"
 
 namespace gaze
@@ -112,11 +112,14 @@ class SppPpfPrefetcher : public Prefetcher
 
     /**
      * In-flight prefetches awaiting usefulness feedback: block ->
-     * feature vector, bounded FIFO (hashed for O(1) lookup on the
-     * access path).
+     * feature vector, bounded FIFO (a flat open-addressed table for
+     * O(1) allocation-free lookup on the access path). The FIFO also
+     * holds addresses whose map entry was consumed by feedback; those
+     * stale slots still count toward the history bound, exactly as
+     * the unordered_map version behaved.
      */
-    std::unordered_map<Addr, FeatureVec> pending;
-    std::deque<Addr> pendingFifo;
+    MshrTable<FeatureVec> pending;
+    RingBuffer<Addr> pendingFifo;
 
     uint64_t proposed = 0;
     uint64_t rejected = 0;

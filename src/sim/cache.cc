@@ -12,9 +12,12 @@ namespace gaze
 Cache::Cache(const CacheParams &params, MemoryDevice *lower_dev,
              const Cycle *clock_ptr, RequestPool *pool_ptr)
     : cfg(params), lower(lower_dev), clock(clock_ptr), pool(pool_ptr),
-      blocks(size_t(params.sets) * params.ways),
+      tagArr(size_t(params.sets) * params.ways, 0),
+      meta(size_t(params.sets) * params.ways),
       repl(makeReplacementPolicy(params.replacement, params.sets,
-                                 params.ways))
+                                 params.ways)),
+      readQ(params.rqSize), writeQ(params.wqSize),
+      prefetchQ(params.pqSize), mshr(params.mshrs)
 {
     GAZE_ASSERT(isPowerOfTwo(cfg.sets),
                 cfg.name, ": sets must be a power of two, got ", cfg.sets);
@@ -26,19 +29,14 @@ Cache::Cache(const CacheParams &params, MemoryDevice *lower_dev,
         ownedPool = std::make_unique<RequestPool>();
         pool = ownedPool.get();
     }
-    // Occupancy is bounded by the MSHR count: reserving up front
-    // pins the bucket count for the cache's whole life, so the map
-    // never rehashes mid-run (and its iteration order — which decides
-    // retry precedence under congestion — never shifts as it grows).
-    mshr.reserve(size_t(cfg.mshrs) * 2);
 }
 
 Cache::~Cache()
 {
     // Runs can end with fetches in flight; their waiter chains go
     // back to the pool here so System can assert pool balance.
-    for (auto &[addr, e] : mshr)
-        pool->releaseChain(e.waitersHead);
+    mshr.forEachInOrder(
+        [this](Addr, MshrEntry &e) { pool->releaseChain(e.waitersHead); });
 }
 
 void
@@ -64,29 +62,24 @@ Cache::setIndex(Addr paddr) const
     return static_cast<uint32_t>(blockNumber(paddr) & (cfg.sets - 1));
 }
 
-Cache::Block *
-Cache::lookup(Addr paddr)
+size_t
+Cache::lookupSlot(Addr paddr) const
 {
-    Addr want = blockAlign(paddr);
-    uint32_t set = setIndex(paddr);
+    // One compare per way: a tag word with the valid bit set and the
+    // dirty/prefetch bits masked off must equal (aligned addr | valid).
+    Addr want = blockAlign(paddr) | kBlkValid;
+    size_t base = size_t(setIndex(paddr)) * cfg.ways;
     for (uint32_t w = 0; w < cfg.ways; ++w) {
-        Block &b = blocks[size_t(set) * cfg.ways + w];
-        if (b.valid && b.paddr == want)
-            return &b;
+        if ((tagArr[base + w] & ~(kBlkDirty | kBlkPrefetch)) == want)
+            return base + w;
     }
-    return nullptr;
-}
-
-const Cache::Block *
-Cache::lookupConst(Addr paddr) const
-{
-    return const_cast<Cache *>(this)->lookup(paddr);
+    return kNoSlot;
 }
 
 bool
 Cache::present(Addr paddr) const
 {
-    return lookupConst(paddr) != nullptr;
+    return lookupSlot(paddr) != kNoSlot;
 }
 
 bool
@@ -150,8 +143,8 @@ Cache::issuePrefetch(Addr addr, uint32_t fill_level, bool virt,
     // ChampSim-style PQ dedup: an identical pending target is not
     // queued twice (delta prefetchers re-propose the same block on
     // every access of a cache line).
-    for (const auto &q : prefetchQ) {
-        if (q.paddr == r.paddr) {
+    for (size_t i = 0; i < prefetchQ.size(); ++i) {
+        if (prefetchQ[i].paddr == r.paddr) {
             ++stat.pfDroppedDup;
             return true;
         }
@@ -163,6 +156,10 @@ Cache::issuePrefetch(Addr addr, uint32_t fill_level, bool virt,
     prefetchQ.push_back(r);
     ++stat.pfIssued;
     GAZE_OBS_HOOK(if (r.pfScheme) ++schemeSlot(r.pfScheme).issued;);
+    // Covers prefetchers driven from outside this cache's tick (unit
+    // tests poking onAccess by hand); from inside a tick this is a
+    // no-op — the end-of-tick wake hint sees the non-empty PQ.
+    sched.requestWake(now());
     return true;
 }
 
@@ -213,32 +210,30 @@ Cache::appendWaiter(MshrEntry &e, const Request &req)
 bool
 Cache::missToMshr(Request &req)
 {
-    auto it = mshr.find(req.paddr);
-    if (it != mshr.end()) {
-        MshrEntry &e = it->second;
+    if (MshrEntry *e = mshr.find(req.paddr)) {
         if (req.isDemand()) {
-            if (e.wasPrefetchOnly && !e.demanded) {
+            if (e->wasPrefetchOnly && !e->demanded) {
                 ++stat.pfLate;
                 (req.type == AccessType::Load ? stat.loadMissLate
                                               : stat.rfoMissLate)++;
                 GAZE_OBS_HOOK(
-                    if (e.downstream.pfScheme)
-                        ++schemeSlot(e.downstream.pfScheme).late;);
+                    if (e->downstream.pfScheme)
+                        ++schemeSlot(e->downstream.pfScheme).late;);
             }
-            e.demanded = true;
+            e->demanded = true;
             // A demand upgrade pulls the fill all the way in.
-            e.downstream.fillLevel =
-                std::min(e.downstream.fillLevel, req.fillLevel);
+            e->downstream.fillLevel =
+                std::min(e->downstream.fillLevel, req.fillLevel);
         }
-        appendWaiter(e, req);
+        appendWaiter(*e, req);
         ++stat.mshrMerge;
         return true;
     }
 
-    if (mshr.size() >= cfg.mshrs)
+    if (mshr.full())
         return false;
 
-    MshrEntry e;
+    MshrEntry &e = mshr.insert(req.paddr);
     e.downstream = req;
     e.downstream.requester = this;
     e.downstream.issueCycle = now();
@@ -249,7 +244,6 @@ Cache::missToMshr(Request &req)
     e.issuedToLower = lower->sendRequest(e.downstream);
     if (!e.issuedToLower)
         ++unissuedMshrs;
-    mshr.emplace(req.paddr, std::move(e));
     return true;
 }
 
@@ -258,27 +252,28 @@ Cache::handleRead(Request &req)
 {
     bool is_load = req.type == AccessType::Load;
 
-    Block *b = lookup(req.paddr);
-    if (b) {
+    size_t slot = lookupSlot(req.paddr);
+    if (slot != kNoSlot) {
         (is_load ? stat.loadAccess : stat.rfoAccess)++;
         (is_load ? stat.loadHit : stat.rfoHit)++;
         uint32_t set = setIndex(req.paddr);
-        uint32_t way = static_cast<uint32_t>(b - &blocks[size_t(set)
-                                                         * cfg.ways]);
+        uint32_t way = static_cast<uint32_t>(slot
+                                             - size_t(set) * cfg.ways);
         repl->onHit(set, way);
-        if (b->prefetch) {
+        if (tagArr[slot] & kBlkPrefetch) {
             ++stat.pfUseful;
-            GAZE_OBS_HOOK(if (b->pfScheme) {
-                SchemeStats &ss = schemeSlot(b->pfScheme);
+            GAZE_OBS_HOOK(if (meta[slot].pfScheme) {
+                SchemeStats &ss = schemeSlot(meta[slot].pfScheme);
                 ++ss.useful;
-                ss.fillToUseSum += now() - b->fillCycle;
+                ss.fillToUseSum += now() - meta[slot].fillCycle;
                 ++ss.fillToUseCnt;
             });
-            b->prefetch = false;
+            tagArr[slot] &= ~kBlkPrefetch;
         }
         if (req.type == AccessType::Rfo)
-            b->dirty = true;
-        b->vaddr = req.vaddr ? blockAlign(req.vaddr) : b->vaddr;
+            tagArr[slot] |= kBlkDirty;
+        if (req.vaddr)
+            meta[slot].vaddr = blockAlign(req.vaddr);
         notifyPrefetcherAccess(req, true);
         scheduleResponse(req, now() + cfg.latency);
         return true;
@@ -300,10 +295,10 @@ bool
 Cache::handleWrite(Request &req)
 {
     ++stat.wbAccess;
-    Block *b = lookup(req.paddr);
-    if (b) {
+    size_t slot = lookupSlot(req.paddr);
+    if (slot != kNoSlot) {
         ++stat.wbHit;
-        b->dirty = true;
+        tagArr[slot] |= kBlkDirty;
         return true;
     }
     // Non-inclusive writeback miss: the line is complete, so allocate
@@ -323,8 +318,8 @@ Cache::handlePrefetch(Request &req)
                                        : PfOutcome::Retry;
     }
 
-    Block *b = lookup(req.paddr);
-    if (b) {
+    size_t slot = lookupSlot(req.paddr);
+    if (slot != kNoSlot) {
         // Redundant prefetch. A requester-less prefetch (issued at
         // this level) is simply dropped; one that came from an upper
         // cache's MSHR must be answered or that MSHR leaks.
@@ -332,22 +327,22 @@ Cache::handlePrefetch(Request &req)
         if (req.requester) {
             uint32_t set = setIndex(req.paddr);
             uint32_t way = static_cast<uint32_t>(
-                b - &blocks[size_t(set) * cfg.ways]);
+                slot - size_t(set) * cfg.ways);
             repl->onHit(set, way);
             scheduleResponse(req, now() + cfg.latency);
         }
         return PfOutcome::Done;
     }
-    if (auto it = mshr.find(req.paddr); it != mshr.end()) {
+    if (MshrEntry *e = mshr.find(req.paddr)) {
         // Already being fetched: ride along (or drop if local).
         ++stat.pfDroppedHit;
         if (req.requester) {
-            appendWaiter(it->second, req);
+            appendWaiter(*e, req);
             ++stat.mshrMerge;
         }
         return PfOutcome::Done;
     }
-    if (mshr.size() >= cfg.mshrs) {
+    if (mshr.full()) {
         ++stat.pfMshrWait;
         if (req.requester)
             return PfOutcome::Retry; // dropping would leak upper MSHR
@@ -375,6 +370,14 @@ Cache::handlePrefetch(Request &req)
 void
 Cache::tick()
 {
+    // Wake-hint gate: skip cycles where the last tick's
+    // nextWakeCycle() proved (and no wake since lowered the bar) that
+    // ticking can have no effect — the exact cycles the event engine
+    // never dispatches, so the gated polled engine stays bit-identical
+    // to the ungated one by the same contract.
+    if (!sched.due(now()))
+        return;
+
     deliverResponses();
     retryUnissuedMshrs();
 
@@ -406,6 +409,8 @@ Cache::tick()
 
     if (pf)
         pf->tick();
+
+    sched.tickDone(nextWakeCycle());
 }
 
 void
@@ -414,40 +419,45 @@ Cache::retryUnissuedMshrs()
     if (unissuedMshrs == 0)
         return;
     uint32_t budget = 2;
-    for (auto &[addr, e] : mshr) {
+    // Insertion order: the oldest stranded fetch retries first, a
+    // deterministic FIFO precedence (the hash map this table replaced
+    // retried in unspecified bucket order).
+    mshr.forEachInOrder([&](Addr, MshrEntry &e) {
         if (e.issuedToLower)
-            continue;
+            return true;
         e.issuedToLower = lower->sendRequest(e.downstream);
         if (e.issuedToLower)
             --unissuedMshrs;
-        if (--budget == 0)
-            break;
-    }
+        return --budget != 0;
+    });
 }
 
 void
 Cache::fillBlock(const Request &req, bool mark_prefetch)
 {
     uint32_t set = setIndex(req.paddr);
-    std::vector<bool> valid(cfg.ways);
+    size_t base = size_t(set) * cfg.ways;
+    uint64_t valid_mask = 0;
     for (uint32_t w = 0; w < cfg.ways; ++w)
-        valid[w] = blocks[size_t(set) * cfg.ways + w].valid;
+        valid_mask |= uint64_t(tagArr[base + w] & kBlkValid) << w;
 
-    uint32_t way = repl->victim(set, valid);
-    Block &b = blocks[size_t(set) * cfg.ways + way];
+    uint32_t way = repl->victim(set, valid_mask);
+    size_t slot = base + way;
+    Addr old = tagArr[slot];
 
     Addr evicted = 0;
-    if (b.valid) {
-        evicted = b.paddr;
-        if (b.prefetch) {
+    if (old & kBlkValid) {
+        evicted = old & ~kBlkFlags;
+        if (old & kBlkPrefetch) {
             ++stat.pfUseless;
             GAZE_OBS_HOOK(
-                if (b.pfScheme) ++schemeSlot(b.pfScheme).useless;);
+                if (meta[slot].pfScheme)
+                    ++schemeSlot(meta[slot].pfScheme).useless;);
         }
-        if (b.dirty) {
+        if (old & kBlkDirty) {
             Request wb;
             wb.type = AccessType::Writeback;
-            wb.paddr = b.paddr;
+            wb.paddr = evicted;
             wb.cpu = req.cpu;
             wb.fillLevel = cfg.level + 1;
             wb.issueCycle = now();
@@ -455,19 +465,22 @@ Cache::fillBlock(const Request &req, bool mark_prefetch)
             ++stat.writebacksSent;
         }
         if (pf)
-            pf->onEvict(b.paddr, b.vaddr);
+            pf->onEvict(evicted, meta[slot].vaddr);
     }
 
-    b.valid = true;
+    GAZE_ASSERT((req.paddr & kBlkFlags) == 0, "unaligned fill address");
+    Addr tag = req.paddr | kBlkValid;
     // RFO fills dirty the block at the level the store lives (L1);
     // copies allocated further out on the response path stay clean.
-    b.dirty = req.type == AccessType::Writeback ||
-              (req.type == AccessType::Rfo && cfg.level == req.fillLevel);
-    b.prefetch = mark_prefetch;
-    b.pfScheme = mark_prefetch ? req.pfScheme : 0;
-    b.fillCycle = now();
-    b.paddr = req.paddr;
-    b.vaddr = req.vaddr ? blockAlign(req.vaddr) : 0;
+    if (req.type == AccessType::Writeback ||
+        (req.type == AccessType::Rfo && cfg.level == req.fillLevel))
+        tag |= kBlkDirty;
+    if (mark_prefetch)
+        tag |= kBlkPrefetch;
+    tagArr[slot] = tag;
+    meta[slot].pfScheme = mark_prefetch ? req.pfScheme : 0;
+    meta[slot].fillCycle = now();
+    meta[slot].vaddr = req.vaddr ? blockAlign(req.vaddr) : 0;
     repl->onFill(set, way, mark_prefetch);
 
     if (mark_prefetch) {
@@ -479,7 +492,7 @@ Cache::fillBlock(const Request &req, bool mark_prefetch)
     if (pf && req.type != AccessType::Writeback) {
         FillEvent f;
         f.paddr = req.paddr;
-        f.vaddr = b.vaddr;
+        f.vaddr = meta[slot].vaddr;
         f.pc = req.pc;
         f.prefetch = mark_prefetch;
         f.latency = now() >= req.issueCycle ? now() - req.issueCycle : 0;
@@ -492,12 +505,11 @@ Cache::fillBlock(const Request &req, bool mark_prefetch)
 void
 Cache::recvFill(const Request &req)
 {
-    auto it = mshr.find(req.paddr);
-    GAZE_ASSERT(it != mshr.end(), cfg.name, ": fill without MSHR for 0x",
+    MshrEntry *slot = mshr.find(req.paddr);
+    GAZE_ASSERT(slot, cfg.name, ": fill without MSHR for 0x",
                 std::hex, req.paddr);
-    MshrEntry e = std::move(it->second);
-    it->second.waitersHead = it->second.waitersTail = nullptr;
-    mshr.erase(it);
+    MshrEntry e = *slot;
+    mshr.erase(req.paddr);
 
     // Mark the block as a prefetch only when this level is the
     // prefetch's target and no demand merged while it was in flight.

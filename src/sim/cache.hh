@@ -15,15 +15,15 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <queue>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/ring_buffer.hh"
 #include "common/types.hh"
 #include "sim/event.hh"
+#include "sim/mshr_table.hh"
 #include "sim/prefetcher.hh"
 #include "sim/replacement.hh"
 #include "sim/request.hh"
@@ -166,7 +166,7 @@ struct SchemeStats
  * type); completions from the lower level arrive via recvFill and
  * propagate upwards to each waiting requester.
  */
-class Cache : public MemoryDevice, public FillReceiver
+class Cache final : public MemoryDevice, public FillReceiver
 {
   public:
     /**
@@ -259,15 +259,28 @@ class Cache : public MemoryDevice, public FillReceiver
     Prefetcher *prefetcher() const { return pf; }
 
   private:
-    struct Block
+    /**
+     * Block state lives in two split arrays: a flat tag word per block
+     * (block-aligned paddr with valid/dirty/prefetch packed into the
+     * low, always-zero address bits) and a cold metadata record. A set
+     * scan touches only the tag array — ways x 8B, one cache line for
+     * the default 8-way geometry — instead of 40B-wide block structs.
+     */
+    static constexpr Addr kBlkValid = 1;
+    static constexpr Addr kBlkDirty = 2;
+    static constexpr Addr kBlkPrefetch = 4;
+    static constexpr Addr kBlkFlags = kBlkValid | kBlkDirty | kBlkPrefetch;
+    static_assert(blockSize >= 8, "tag words need 3 low flag bits");
+
+    /** "No such block" result from lookupSlot(). */
+    static constexpr size_t kNoSlot = ~size_t(0);
+
+    /** Cold per-block metadata, touched on hits and fills only. */
+    struct BlockMeta
     {
-        bool valid = false;
-        bool dirty = false;
-        bool prefetch = false;  ///< filled by prefetch, not yet demanded
-        uint16_t pfScheme = 0;  ///< issuing scheme id while prefetch set
-        Addr paddr = 0;         ///< block-aligned physical address
         Addr vaddr = 0;         ///< block-aligned vaddr of last toucher
         Cycle fillCycle = 0;    ///< fill time, for fill-to-use latency
+        uint16_t pfScheme = 0;  ///< issuing scheme id while prefetch set
     };
 
     struct MshrEntry
@@ -294,8 +307,9 @@ class Cache : public MemoryDevice, public FillReceiver
     };
 
     uint32_t setIndex(Addr paddr) const;
-    Block *lookup(Addr paddr);
-    const Block *lookupConst(Addr paddr) const;
+
+    /** Flat block index of the resident block, or kNoSlot. */
+    size_t lookupSlot(Addr paddr) const;
 
     /** Fill a block; evicts (with writeback) as needed. */
     void fillBlock(const Request &req, bool mark_prefetch);
@@ -335,14 +349,16 @@ class Cache : public MemoryDevice, public FillReceiver
     /** MSHRs whose downstream send is still pending (retry set). */
     uint32_t unissuedMshrs = 0;
 
-    std::vector<Block> blocks;
+    std::vector<Addr> tagArr;
+    std::vector<BlockMeta> meta;
     std::unique_ptr<ReplacementPolicy> repl;
 
-    std::deque<Request> readQ;
-    std::deque<Request> writeQ;
-    std::deque<Request> prefetchQ;
+    RingBuffer<Request> readQ;
+    RingBuffer<Request> writeQ;
+    RingBuffer<Request> prefetchQ;
 
-    std::unordered_map<Addr, MshrEntry> mshr;
+    /** Flat open-addressed MSHR map; capacity = cfg.mshrs. */
+    MshrTable<MshrEntry> mshr;
 
     std::priority_queue<PendingResponse, std::vector<PendingResponse>,
                         std::greater<>> responses;

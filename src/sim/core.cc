@@ -19,6 +19,10 @@ void
 Core::setTrace(TraceSource *t)
 {
     trace = t;
+    // A core without a trace reports nextWakeCycle() == kNeverWake;
+    // binding one creates dispatch work, so the wake hint must drop or
+    // a gated polled run would never tick this core again.
+    sched.requestWake(now());
 }
 
 void
@@ -194,12 +198,19 @@ Core::catchUpStallCounters()
 void
 Core::tick()
 {
+    // Wake-hint gate (see TickEvent): skip cycles proven unproductive
+    // by the last tick's nextWakeCycle(). catchUpStallCounters()
+    // keeps the per-cycle stall counters exact across the skips.
+    if (!sched.due(now()))
+        return;
+
     catchUpStallCounters();
     issueBlockedOnL1d = false;
     retire();
     issueLoads();
     dispatch();
     lastTickCycle = now();
+    sched.tickDone(nextWakeCycle());
 }
 
 Cycle

@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 
@@ -50,7 +51,7 @@ struct CoreStats
 };
 
 /** One simulated hardware thread executing a TraceSource. */
-class Core : public FillReceiver
+class Core final : public FillReceiver
 {
   public:
     Core(const CoreParams &params, uint32_t cpu_id,
@@ -85,7 +86,23 @@ class Core : public FillReceiver
      */
     Cycle nextWakeCycle() const;
 
-    const CoreStats &stats() const { return stat; }
+    /**
+     * Counters, settled: stall cycles accrue lazily across gate- or
+     * event-skipped stretches (see catchUpStallCounters), so reading
+     * through here first accounts everything up to the previous
+     * cycle — exactly what the ungated polled engine would show. The
+     * settle arithmetic is a pure function of component state, so it
+     * cannot perturb engine bit-identity.
+     */
+    const CoreStats &
+    stats() const
+    {
+        auto *self = const_cast<Core *>(this);
+        self->catchUpStallCounters();
+        if (now() > 0)
+            self->lastTickCycle = std::max(lastTickCycle, now() - 1);
+        return stat;
+    }
 
     /**
      * Zero the counters. The skipped-cycle catch-up baseline resets

@@ -94,7 +94,7 @@ Dram::sendRequest(const Request &req)
 }
 
 Dram::Pick
-Dram::scanQueue(const Channel &ch, const std::deque<QueuedRequest> &q,
+Dram::scanQueue(const Channel &ch, const RingBuffer<QueuedRequest> &q,
                 bool demands_only) const
 {
     Pick p{q.size(), q.size()};
@@ -144,7 +144,7 @@ Dram::serviceChannel(Channel &ch)
         ch.draining = false;
 
     bool do_write = ch.draining && !ch.wq.empty();
-    std::deque<QueuedRequest> &q = do_write ? ch.wq : ch.rq;
+    RingBuffer<QueuedRequest> &q = do_write ? ch.wq : ch.rq;
     if (q.empty())
         return;
 
@@ -177,7 +177,7 @@ Dram::serviceChannel(Channel &ch)
         return;
 
     QueuedRequest r = q[idx];
-    q.erase(q.begin() + idx);
+    q.erase(idx);
 
     Bank &bank = ch.banks[r.bank];
     Cycle start = std::max(now(), bank.ready);
@@ -243,6 +243,12 @@ Dram::nextWakeCycle() const
 void
 Dram::tick()
 {
+    // Wake-hint gate (see TickEvent). Epoch boundaries crossed while
+    // skipping are reconstructed exactly by catchUpEpochs(), and
+    // recentUtilization() is already sleep-aware.
+    if (!sched.due(now()))
+        return;
+
     catchUpEpochs();
 
     while (!completions.empty() && completions.top().ready <= now()) {
@@ -263,6 +269,8 @@ Dram::tick()
         epochBusy = 0;
         epochStart += epochLength;
     }
+
+    sched.tickDone(nextWakeCycle());
 }
 
 double

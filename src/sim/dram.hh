@@ -13,10 +13,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <queue>
 #include <vector>
 
+#include "common/ring_buffer.hh"
 #include "common/types.hh"
 #include "sim/event.hh"
 #include "sim/request.hh"
@@ -80,7 +80,7 @@ struct DramStats
 };
 
 /** The memory controller: one instance serves the whole system. */
-class Dram : public MemoryDevice
+class Dram final : public MemoryDevice
 {
   public:
     Dram(const DramParams &params, const Cycle *clock);
@@ -139,8 +139,8 @@ class Dram : public MemoryDevice
 
     struct Channel
     {
-        std::deque<QueuedRequest> rq;
-        std::deque<QueuedRequest> wq;
+        RingBuffer<QueuedRequest> rq;
+        RingBuffer<QueuedRequest> wq;
         std::vector<Bank> banks;
         Cycle busFree = 0;
         bool draining = false;
@@ -190,7 +190,7 @@ class Dram : public MemoryDevice
      * invisible (demand-over-prefetch read priority).
      */
     Pick scanQueue(const Channel &ch,
-                   const std::deque<QueuedRequest> &q,
+                   const RingBuffer<QueuedRequest> &q,
                    bool demands_only) const;
 
     /**

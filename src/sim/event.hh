@@ -234,13 +234,25 @@ class EventQueue
  *
  * The component contract:
  *  - `void tick()` — one cycle of work, identical to the polled tick.
+ *    It opens with `if (!sched.due(now())) return;` and closes with
+ *    `sched.tickDone(nextWakeCycle())`.
  *  - `Cycle nextWakeCycle() const` — earliest future cycle at which
  *    ticking could have any effect given current state (kNeverWake
- *    when only external input can create work). Called after each
- *    tick to self-reschedule.
+ *    when only external input can create work).
  * External inputs (sendRequest, recvFill) call requestWake() on the
  * target so a sleeping component is woken exactly when the polled
  * engine would first have ticked it to any effect.
+ *
+ * The event also carries the component's *wake hint* — the cycle its
+ * last tick promised as the next possibly-productive one, lowered by
+ * every requestWake. This is what lets the polled engine share the
+ * event engine's idle-skipping proof without a queue: a tick whose
+ * entry gate sees hint > now is exactly a cycle the event engine would
+ * never have dispatched, so returning without work preserves
+ * bit-identical metrics. The hint is maintained unbound too (the
+ * polled and threaded engines never bind), which is why due()/
+ * tickDone()/requestWake() do their bookkeeping before any queue
+ * check.
  */
 template <typename Component>
 class TickEvent : public Event
@@ -260,19 +272,41 @@ class TickEvent : public Event
     bool bound() const { return queue != nullptr; }
 
     /**
-     * Ensure the component ticks at @p when or earlier. No-op when
-     * unbound, already scheduled early enough, or called from inside
-     * the component's own tick for a cycle the end-of-tick reschedule
-     * will cover anyway.
+     * Entry gate for the component's tick: true when ticking at
+     * @p now_cycle could do work. The polled engine calls tick()
+     * every cycle; this turns the no-op ones into a two-load compare.
+     */
+    bool due(Cycle now_cycle) const { return wakeHint <= now_cycle; }
+
+    /**
+     * End-of-tick bookkeeping: record the component's freshly
+     * computed nextWakeCycle() as the hint the gate tests next.
+     */
+    void tickDone(Cycle next) { wakeHint = next; }
+
+    /** The current hint (diagnostics / engine bookkeeping). */
+    Cycle hint() const { return wakeHint; }
+
+    /**
+     * Ensure the component ticks at @p when or earlier. Lowers the
+     * wake hint (except from inside the component's own tick, whose
+     * closing tickDone() recomputes the hint from full state anyway)
+     * and, when bound, pulls the queue entry earlier.
      */
     void
     requestWake(Cycle when)
     {
-        if (!queue)
+        if (inTick) {
+            if (when <= tickCycle)
+                return;
+            if (queue)
+                queue->scheduleEarlier(this, when);
             return;
-        if (inTick && when <= tickCycle)
-            return;
-        queue->scheduleEarlier(this, when);
+        }
+        if (when < wakeHint)
+            wakeHint = when;
+        if (queue)
+            queue->scheduleEarlier(this, when);
     }
 
     /**
@@ -298,15 +332,19 @@ class TickEvent : public Event
         tickCycle = queue->currentCycle();
         comp->tick();
         inTick = false;
-        Cycle next = comp->nextWakeCycle();
-        if (next != kNeverWake)
-            queue->scheduleEarlier(this, next);
+        // tick() left its nextWakeCycle() in the hint (or, when the
+        // gate skipped a bootstrapWake dispatch, the hint is the
+        // still-future cycle to resume at). Either way it is the
+        // reschedule target, saving a second nextWakeCycle() walk.
+        if (wakeHint != kNeverWake)
+            queue->scheduleEarlier(this, wakeHint);
     }
 
   private:
     EventQueue *queue = nullptr;
     Component *comp = nullptr;
     Cycle tickCycle = 0;
+    Cycle wakeHint = 0; ///< earliest possibly-productive tick cycle
     bool inTick = false;
 };
 

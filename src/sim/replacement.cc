@@ -23,12 +23,12 @@ LruPolicy::onFill(uint32_t set, uint32_t way, bool /*prefetch*/)
 }
 
 uint32_t
-LruPolicy::victim(uint32_t set, const std::vector<bool> &valid)
+LruPolicy::victim(uint32_t set, uint64_t valid_mask)
 {
     uint32_t best = 0;
     uint64_t best_stamp = ~0ULL;
     for (uint32_t w = 0; w < numWays; ++w) {
-        if (!valid[w])
+        if (!((valid_mask >> w) & 1))
             return w;
         uint64_t s = stamp[size_t(set) * numWays + w];
         if (s < best_stamp) {
@@ -59,10 +59,10 @@ SrripPolicy::onFill(uint32_t set, uint32_t way, bool prefetch)
 }
 
 uint32_t
-SrripPolicy::victim(uint32_t set, const std::vector<bool> &valid)
+SrripPolicy::victim(uint32_t set, uint64_t valid_mask)
 {
     for (uint32_t w = 0; w < numWays; ++w)
-        if (!valid[w])
+        if (!((valid_mask >> w) & 1))
             return w;
     while (true) {
         for (uint32_t w = 0; w < numWays; ++w)
@@ -79,10 +79,10 @@ RandomPolicy::RandomPolicy(uint32_t /*sets*/, uint32_t ways, uint64_t seed)
 }
 
 uint32_t
-RandomPolicy::victim(uint32_t /*set*/, const std::vector<bool> &valid)
+RandomPolicy::victim(uint32_t /*set*/, uint64_t valid_mask)
 {
     for (uint32_t w = 0; w < numWays; ++w)
-        if (!valid[w])
+        if (!((valid_mask >> w) & 1))
             return w;
     return static_cast<uint32_t>(rng.below(numWays));
 }
@@ -90,6 +90,9 @@ RandomPolicy::victim(uint32_t /*set*/, const std::vector<bool> &valid)
 std::unique_ptr<ReplacementPolicy>
 makeReplacementPolicy(const std::string &name, uint32_t sets, uint32_t ways)
 {
+    GAZE_ASSERT(ways >= 1 && ways <= 64,
+                "cache needs at least one way (and victim masks cap "
+                "associativity at 64), got ", ways);
     if (name == "lru")
         return std::make_unique<LruPolicy>(sets, ways);
     if (name == "srrip")

@@ -34,10 +34,12 @@ class ReplacementPolicy
     virtual void onFill(uint32_t set, uint32_t way, bool prefetch) = 0;
 
     /**
-     * Choose a victim way in @p set. @p valid flags which ways hold
-     * valid blocks; invalid ways must be preferred.
+     * Choose a victim way in @p set. Bit w of @p valid_mask is set
+     * when way w holds a valid block; invalid ways must be preferred.
+     * (A mask, not a vector<bool>: the fill path builds it from a tag
+     * scan without allocating. Caps associativity at 64 ways.)
      */
-    virtual uint32_t victim(uint32_t set, const std::vector<bool> &valid) = 0;
+    virtual uint32_t victim(uint32_t set, uint64_t valid_mask) = 0;
 
     virtual std::string name() const = 0;
 };
@@ -50,7 +52,7 @@ class LruPolicy : public ReplacementPolicy
 
     void onHit(uint32_t set, uint32_t way) override;
     void onFill(uint32_t set, uint32_t way, bool prefetch) override;
-    uint32_t victim(uint32_t set, const std::vector<bool> &valid) override;
+    uint32_t victim(uint32_t set, uint64_t valid_mask) override;
     std::string name() const override { return "lru"; }
 
   private:
@@ -71,7 +73,7 @@ class SrripPolicy : public ReplacementPolicy
 
     void onHit(uint32_t set, uint32_t way) override;
     void onFill(uint32_t set, uint32_t way, bool prefetch) override;
-    uint32_t victim(uint32_t set, const std::vector<bool> &valid) override;
+    uint32_t victim(uint32_t set, uint64_t valid_mask) override;
     std::string name() const override { return "srrip"; }
 
   private:
@@ -91,7 +93,7 @@ class RandomPolicy : public ReplacementPolicy
                 bool /*prefetch*/) override
     {
     }
-    uint32_t victim(uint32_t set, const std::vector<bool> &valid) override;
+    uint32_t victim(uint32_t set, uint64_t valid_mask) override;
     std::string name() const override { return "random"; }
 
   private:

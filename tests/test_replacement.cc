@@ -13,17 +13,17 @@ namespace gaze
 namespace
 {
 
-std::vector<bool>
+uint64_t
 allValid(uint32_t ways)
 {
-    return std::vector<bool>(ways, true);
+    return ways >= 64 ? ~uint64_t(0) : (uint64_t(1) << ways) - 1;
 }
 
 TEST(Lru, PrefersInvalidWays)
 {
     LruPolicy p(2, 4);
-    std::vector<bool> valid = {true, false, true, true};
-    EXPECT_EQ(p.victim(0, valid), 1u);
+    // Ways 0, 2, 3 valid; way 1 free.
+    EXPECT_EQ(p.victim(0, 0b1101), 1u);
 }
 
 TEST(Lru, EvictsOldest)
@@ -69,10 +69,10 @@ TEST(Srrip, PrefetchInsertedDistant)
 TEST(Random, VictimWithinRangeAndInvalidFirst)
 {
     RandomPolicy p(1, 8);
-    std::vector<bool> valid = allValid(8);
+    uint64_t valid = allValid(8);
     for (int i = 0; i < 100; ++i)
         EXPECT_LT(p.victim(0, valid), 8u);
-    valid[5] = false;
+    valid &= ~(uint64_t(1) << 5);
     EXPECT_EQ(p.victim(0, valid), 5u);
 }
 
